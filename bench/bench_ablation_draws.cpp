@@ -1,0 +1,61 @@
+// Ablation A4: stochastic Algorithm 3 (random draws r ~ N(0, S_K^2/N)) vs
+// the deterministic blocked variant (all scaled input directions at every
+// frequency point), as a function of draw budget.
+//
+// Finding recorded in DESIGN.md/EXPERIMENTS.md: the Monte Carlo variant
+// converges to the blocked variant's accuracy roughly like 1/sqrt(draws);
+// the blocked variant is the default for the figure benches.
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/input_correlated.hpp"
+#include "signal/transient.hpp"
+#include "signal/waveform.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+using la::index;
+
+int main() {
+  bench::banner("Ablation A4", "Random-draw vs deterministic input-correlated PMTBR");
+
+  circuit::MultiportRcParams mp;
+  mp.lines = 16;
+  mp.segments = 5;
+  const auto sys = circuit::make_multiport_rc(mp);
+
+  signal::SquareWaveSpec spec;
+  spec.period = 6e-9;
+  spec.rise_time = 3e-10;
+  spec.dither_fraction = 0.1;
+  const double t_end = 3e-8;
+  std::vector<double> phases;
+  for (index k = 0; k < 16; ++k) phases.push_back((k % 3) * 1.1e-9);
+  Rng rng(606);
+  const auto bank = signal::make_square_bank(spec, t_end, phases, rng);
+  const auto samples = signal::sample_waveforms(bank, t_end, 300);
+
+  signal::TransientOptions sim;
+  sim.t_end = t_end;
+  sim.steps = 600;
+  const auto in = signal::bank_input(bank);
+  const auto full = signal::simulate(sys, in, sim);
+
+  const auto run = [&](index draws, std::uint64_t seed) {
+    mor::InputCorrelatedOptions ic;
+    ic.bands = {mor::Band{0.0, 2e9}};
+    ic.num_freq_samples = 12;
+    ic.draws_per_frequency = draws;
+    ic.fixed_order = 10;
+    ic.seed = seed;
+    const auto r = mor::input_correlated_tbr(sys, samples, ic);
+    const auto red = signal::simulate(r.model.system, in, sim);
+    return signal::compare_outputs(full, red).rms;
+  };
+
+  CsvWriter csv(std::cout, {"draws_per_frequency", "rms_error"},
+                bench::out_path("ablation_draws"));
+  csv.row({0.0, run(0, 1)});  // deterministic blocked variant
+  for (const index d : {1, 2, 4, 8, 16}) csv.row({static_cast<double>(d), run(d, 17)});
+  return 0;
+}

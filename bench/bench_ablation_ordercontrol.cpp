@@ -1,0 +1,38 @@
+// Ablation A2: on-the-fly order control (paper Sec. V-C) — how the SVD
+// truncation tolerance maps to selected order and realized error, and what
+// the adaptive sample-count stopping rule saves.
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/error.hpp"
+#include "mor/pmtbr.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+using la::index;
+
+int main() {
+  bench::banner("Ablation A2", "Truncation tolerance -> order & error; adaptive stopping");
+
+  circuit::ClockTreeParams p;
+  p.levels = 7;
+  const auto sys = circuit::make_clock_tree(p);
+  const auto grid = mor::logspace_grid(1e6, 1e10, 30);
+
+  CsvWriter csv(std::cout, {"tolerance", "selected_order", "max_rel_error", "samples_used"},
+                bench::out_path("ablation_ordercontrol"));
+  for (const double tol : {1e-2, 1e-4, 1e-6, 1e-8, 1e-10}) {
+    mor::PmtbrOptions opts;
+    opts.bands = {mor::Band{0.0, 1e10}};
+    opts.num_samples = 60;
+    opts.truncation_tol = tol;
+    opts.adaptive_excess = 2.5;  // stop once samples > 2.5x the order estimate
+    const auto res = mor::pmtbr(sys, opts);
+    const auto err = mor::compare_on_grid(sys, res.model.system, grid);
+    csv.row({tol, static_cast<double>(res.model.system.n()), err.max_rel,
+             static_cast<double>(res.samples_used.size())});
+  }
+  bench::note("tighter tolerance -> larger order and smaller realized error;");
+  bench::note("the adaptive rule keeps sample count ~2.5x the selected order");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Ablation A1: how the sampling scheme (uniform / logarithmic /
+// Gauss–Legendre) affects PMTBR accuracy at a fixed order and sample
+// budget, on the spiral inductor and the PEEC resonator chain.
+//
+// DESIGN.md decision: every (points, weights) pair implicitly defines a
+// frequency weighting; schemes matched to where the system has structure
+// win.
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/error.hpp"
+#include "mor/pmtbr.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+using la::index;
+
+namespace {
+
+double run(const DescriptorSystem& sys, mor::SamplingScheme scheme, const mor::Band& band,
+           index samples, index order, const std::vector<double>& grid) {
+  mor::PmtbrOptions opts;
+  opts.bands = {band};
+  opts.scheme = scheme;
+  opts.num_samples = samples;
+  opts.fixed_order = order;
+  const auto res = mor::pmtbr(sys, opts);
+  const auto err = mor::compare_on_grid(sys, res.model.system, grid);
+  return err.max_abs / err.h_inf_scale;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation A1", "Sampling scheme vs model error (fixed order and budget)");
+
+  struct Case {
+    std::string name;
+    DescriptorSystem sys;
+    mor::Band band;
+    std::vector<double> grid;
+    index order;
+  };
+  circuit::SpiralParams sp;
+  sp.turns = 30;
+  circuit::PeecParams pp;
+  pp.sections = 40;
+  std::vector<Case> cases;
+  cases.push_back({"spiral", circuit::make_spiral(sp), {0.0, 5e10},
+                   mor::logspace_grid(1e8, 5e10, 40), 8});
+  cases.push_back({"peec", circuit::make_peec(pp), {0.0, 1e9},
+                   mor::linspace_grid(1e6, 1e9, 40), 16});
+
+  CsvWriter csv(std::cout,
+                {"case", "num_samples", "err_uniform", "err_log", "err_gauss_legendre"},
+                bench::out_path("ablation_sampling"));
+  for (const auto& c : cases) {
+    for (const index ns : {10, 20, 40}) {
+      const double eu = run(c.sys, mor::SamplingScheme::kUniform, c.band, ns, c.order, c.grid);
+      mor::Band logband{std::max(c.band.f_lo, c.band.f_hi * 1e-5), c.band.f_hi};
+      const double el = run(c.sys, mor::SamplingScheme::kLogarithmic, logband, ns, c.order, c.grid);
+      const double eg =
+          run(c.sys, mor::SamplingScheme::kGaussLegendre, c.band, ns, c.order, c.grid);
+      csv.row({c.name, format_double(static_cast<double>(ns)), format_double(eu),
+               format_double(el), format_double(eg)});
+    }
+  }
+  return 0;
+}

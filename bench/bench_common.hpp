@@ -1,0 +1,36 @@
+// Shared plumbing for the figure-regeneration benches: banner, CSV output
+// mirrored to bench/out/, and small formatting helpers.
+//
+// Every bench binary prints the series of one paper figure as CSV rows so
+// EXPERIMENTS.md can quote them directly.
+#pragma once
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+
+namespace pmtbr::bench {
+
+/// Creates bench/out (relative to the current working directory) and
+/// returns the CSV path for this bench, or "" if the directory cannot be
+/// created (output then goes to stdout only).
+inline std::string out_path(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return {};
+  return "bench_out/" + name + ".csv";
+}
+
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::cout << "# ================================================================\n"
+            << "# " << experiment << "\n"
+            << "# " << description << "\n"
+            << "# ================================================================\n";
+}
+
+inline void note(const std::string& text) { std::cout << "# " << text << "\n"; }
+
+}  // namespace pmtbr::bench

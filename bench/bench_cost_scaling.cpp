@@ -1,0 +1,87 @@
+// Sec. III-C reproduction (the paper's cost comparison): wall-clock scaling
+// of TBR (O(n^3)), PRIMA, and PMTBR on RC lines of growing size, via
+// google-benchmark.
+//
+// Paper shape: TBR's cubic cost limits it to small/medium problems; PRIMA
+// and PMTBR scale with the sparse-solve cost (PMTBR pays one factorization
+// per sample but needs smaller models).
+#include <benchmark/benchmark.h>
+
+#include "circuit/generators.hpp"
+#include "la/ops.hpp"
+#include "mor/pmtbr.hpp"
+#include "mor/prima.hpp"
+#include "mor/tbr.hpp"
+
+namespace {
+
+using namespace pmtbr;
+
+DescriptorSystem line(la::index n_states) {
+  circuit::RcLineParams p;
+  p.segments = n_states - 1;
+  return circuit::make_rc_line(p);
+}
+
+void BM_Tbr(benchmark::State& state) {
+  const auto sys = line(state.range(0));
+  mor::TbrOptions opts;
+  opts.fixed_order = 10;
+  for (auto _ : state) benchmark::DoNotOptimize(mor::tbr(sys, opts).model.system.n());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Tbr)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity()->Unit(benchmark::kMillisecond);
+
+void BM_Prima(benchmark::State& state) {
+  const auto sys = line(state.range(0));
+  mor::PrimaOptions opts;
+  opts.num_moments = 10;
+  for (auto _ : state) benchmark::DoNotOptimize(mor::prima(sys, opts).model.system.n());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Prima)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Pmtbr(benchmark::State& state) {
+  const auto sys = line(state.range(0));
+  mor::PmtbrOptions opts;
+  opts.bands = {mor::Band{0.0, 1e10}};
+  opts.num_samples = 10;
+  opts.fixed_order = 10;
+  for (auto _ : state) benchmark::DoNotOptimize(mor::pmtbr(sys, opts).model.system.n());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Pmtbr)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(800)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+// The sparse-solve primitive underlying every PMTBR sample.
+void BM_ShiftedSolve(benchmark::State& state) {
+  const auto sys = line(state.range(0));
+  const la::MatC b = la::to_complex(sys.b());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sys.solve_shifted(la::cd(0.0, 1e9), b).rows());
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ShiftedSolve)
+    ->Arg(100)
+    ->Arg(400)
+    ->Arg(1600)
+    ->Arg(6400)
+    ->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

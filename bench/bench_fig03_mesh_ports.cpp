@@ -1,0 +1,50 @@
+// Fig. 3 reproduction: TBR error bound (2·Σ tail of Hankel singular values)
+// for a 12×12 RC mesh as a function of the number of input ports.
+//
+// Paper shape: the order needed for a given accuracy grows with the port
+// count; for 64 inputs even 20% error needs ≥ 40 states.
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/tbr.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+
+int main() {
+  bench::banner("Fig. 3", "TBR error bound vs model order for a 12x12 RC mesh, varying #inputs");
+
+  const std::vector<la::index> port_counts{4, 8, 16, 32, 64};
+  std::vector<std::vector<double>> hsvs;
+  for (const auto p : port_counts) {
+    circuit::RcMeshParams mp;
+    mp.rows = 12;
+    mp.cols = 12;
+    mp.num_ports = p;
+    hsvs.push_back(mor::hankel_singular_values(circuit::make_rc_mesh(mp)));
+  }
+
+  // Normalized error bound (relative to twice the full HSV sum, i.e. the
+  // order-0 bound) so curves for different port counts are comparable.
+  CsvWriter csv(std::cout,
+                {"order", "bound_p4", "bound_p8", "bound_p16", "bound_p32", "bound_p64"},
+                bench::out_path("fig03_mesh_ports"));
+  for (la::index q = 0; q <= 80; q += 2) {
+    std::vector<double> row{static_cast<double>(q)};
+    for (const auto& hsv : hsvs)
+      row.push_back(mor::tbr_error_bound(hsv, q) / mor::tbr_error_bound(hsv, 0));
+    csv.row(row);
+  }
+
+  // Headline numbers: order needed for a 20% relative bound.
+  for (std::size_t i = 0; i < port_counts.size(); ++i) {
+    la::index q = 0;
+    const double total = mor::tbr_error_bound(hsvs[i], 0);
+    while (q < static_cast<la::index>(hsvs[i].size()) &&
+           mor::tbr_error_bound(hsvs[i], q) > 0.2 * total)
+      ++q;
+    bench::note("ports=" + std::to_string(port_counts[i]) +
+                ": order for 20% bound = " + std::to_string(q));
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7 reproduction: worst-case error in the spiral inductor's input
+// resistance Re{Z(jω)} for PRIMA and PMTBR models of increasing order.
+//
+// Paper shape: PMTBR (30 samples) is more accurate than PRIMA at every
+// order and converges faster; PRIMA needs far more vectors for 1% accuracy
+// in the resistance.
+#include <algorithm>
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/error.hpp"
+#include "mor/pmtbr.hpp"
+#include "mor/prima.hpp"
+#include "mor/pvl.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+
+int main() {
+  bench::banner("Fig. 7", "Error in Re{Z} vs model order: PRIMA vs PMTBR (spiral inductor)");
+
+  circuit::SpiralParams sp;
+  sp.turns = 30;
+  const auto sys = circuit::make_spiral(sp);
+  // PRIMA projects by congruence in MNA coordinates (passivity); PMTBR runs
+  // in energy coordinates (DESIGN.md). Transfer functions are identical in
+  // both coordinate systems.
+  const auto esys = to_energy_standard(sys);
+  bench::note("states = " + std::to_string(sys.n()));
+
+  const auto grid = mor::logspace_grid(1e8, 5e10, 40);
+  // Reference resistance scale for relative errors.
+  double r_scale = 0;
+  for (const double f : grid)
+    r_scale = std::max(r_scale,
+                       std::abs(sys.transfer(la::cd(0.0, 2 * 3.141592653589793 * f))(0, 0).real()));
+
+  const auto worst = [&](const DescriptorSystem& full, const mor::DenseSystem& red) {
+    const auto series = mor::entry_error_series(full, red, grid, 0, 0, /*real_part_only=*/true);
+    return *std::max_element(series.begin(), series.end()) / r_scale;
+  };
+
+  const auto samples = mor::sample_band(mor::Band{0.0, 5e10}, 30, mor::SamplingScheme::kUniform);
+  std::vector<la::index> orders;
+  for (la::index q = 2; q <= 24; q += 2) orders.push_back(q);
+  const auto sweep = mor::pmtbr_order_sweep(esys, samples, orders);
+
+  CsvWriter csv(std::cout, {"order", "err_prima", "err_pvl", "err_pmtbr"},
+                bench::out_path("fig07_prima_vs_pmtbr"));
+  for (std::size_t i = 0; i < orders.size(); ++i) {
+    mor::PrimaOptions popts;
+    popts.num_moments = orders[i];  // SISO: order == #moments
+    const auto pr = mor::prima(sys, popts);
+    mor::PvlOptions vopts;
+    vopts.order = orders[i];
+    const auto pv = mor::pvl(sys, vopts);
+    csv.row({static_cast<double>(orders[i]), worst(sys, pr.model.system),
+             worst(sys, pv.model.system), worst(esys, sweep[i].model.system)});
+  }
+  bench::note("PVL matches 2q moments per q states (Padé), so it converges faster than");
+  bench::note("PRIMA at low orders; PMTBR still wins once redundancy pruning matters");
+  return 0;
+}

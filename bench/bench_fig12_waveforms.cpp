@@ -1,0 +1,35 @@
+// Fig. 12 reproduction: an ensemble of square-wave input samples with edge
+// timings dithered by ~10% of the period — the stimulus class used for the
+// input-correlated RC experiment.
+#include <iostream>
+
+#include "signal/waveform.hpp"
+#include "bench_common.hpp"
+
+using namespace pmtbr;
+
+int main() {
+  bench::banner("Fig. 12", "Dithered square-wave samples for one input of the RC network");
+
+  signal::SquareWaveSpec spec;
+  spec.period = 1e-8;
+  spec.rise_time = 4e-10;
+  spec.dither_fraction = 0.1;
+  const double t_end = 4e-8;
+
+  Rng rng(2026);
+  std::vector<signal::Waveform> realizations;
+  for (int k = 0; k < 4; ++k) realizations.push_back(signal::make_square_wave(spec, t_end, rng));
+
+  CsvWriter csv(std::cout, {"t_ns", "sample1", "sample2", "sample3", "sample4"},
+                bench::out_path("fig12_waveforms"));
+  const int npts = 200;
+  for (int i = 0; i <= npts; ++i) {
+    const double t = t_end * i / npts;
+    std::vector<double> row{t * 1e9};
+    for (const auto& w : realizations) row.push_back(w.value(t));
+    csv.row(row);
+  }
+  bench::note("seed = 2026; dither = 10% of period");
+  return 0;
+}

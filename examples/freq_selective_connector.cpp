@@ -1,0 +1,57 @@
+// Frequency-selective reduction (paper Algorithm 2) on the 18-pin shielded
+// connector: focus all modeling effort on the band the application cares
+// about, instead of letting a global method spend order on out-of-band
+// resonances.
+//
+//   ./freq_selective_connector [--fmax_ghz=8] [--order=18] [--samples=40]
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/error.hpp"
+#include "mor/pmtbr.hpp"
+#include "mor/tbr.hpp"
+#include "signal/ac.hpp"
+#include "util/cli.hpp"
+
+using namespace pmtbr;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  const double fmax = args.get_double("fmax_ghz", 8.0) * 1e9;
+
+  // Energy coordinates make the one-sided SVD rank directions by physical
+  // energy rather than raw voltage/current magnitude (see DESIGN.md).
+  const DescriptorSystem sys = to_energy_standard(circuit::make_connector({}));
+  std::cout << "connector model: " << sys.n() << " states\n";
+
+  // Band-limited PMTBR: all samples inside [0, fmax].
+  mor::PmtbrOptions popts;
+  popts.bands = {mor::Band{0.0, fmax}};
+  popts.num_samples = args.get_int("samples", 40);
+  popts.fixed_order = args.get_int("order", 18);
+  const auto pm = mor::pmtbr(sys, popts);
+
+  // Global TBR at substantially higher order for comparison.
+  mor::TbrOptions topts;
+  topts.fixed_order = args.get_int("tbr_order", 30);
+  const auto tb = mor::tbr(sys, topts);
+
+  const auto in_band = mor::linspace_grid(1e8, fmax, 40);
+  const auto e_pm = mor::compare_on_grid(sys, pm.model.system, in_band);
+  const auto e_tb = mor::compare_on_grid(sys, tb.model.system, in_band);
+  std::cout << "in-band max error:  PMTBR(" << pm.model.system.n() << ") = " << e_pm.max_abs
+            << "   TBR(" << tb.model.system.n() << ") = " << e_tb.max_abs << '\n';
+
+  // Show a few spot frequencies of the through/crosstalk transfer entry.
+  std::cout << "\n  f(GHz)   |H| exact   |H| PMTBR   |H| TBR\n";
+  for (const double f : {0.5e9, 2e9, 4e9, 6e9, 0.95 * fmax}) {
+    const auto he = signal::ac_sweep(sys, {f}, 1, 0)[0].magnitude;
+    const auto hp = signal::ac_sweep(pm.model.system, {f}, 1, 0)[0].magnitude;
+    const auto ht = signal::ac_sweep(tb.model.system, {f}, 1, 0)[0].magnitude;
+    std::printf("  %6.2f   %9.4g   %9.4g   %9.4g\n", f / 1e9, he, hp, ht);
+  }
+  std::cout << "\nPMTBR focuses its " << pm.model.system.n()
+            << " states on the band of interest; the larger global TBR model spreads\n"
+               "effort over the whole axis (the paper's Fig. 11 phenomenon).\n";
+  return 0;
+}

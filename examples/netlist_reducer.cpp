@@ -1,0 +1,131 @@
+// Command-line model reducer driven by a SPICE-like netlist file: the
+// closest thing to "PMTBR as a tool". Reads a netlist, reduces it with the
+// requested algorithm, reports accuracy/passivity, and optionally dumps the
+// reduced state-space matrices as CSV.
+//
+//   ./netlist_reducer <netlist-file> [--method=pmtbr|tbr|prima|pvl]
+//                     [--order=N] [--tol=1e-8] [--fmax=1e10] [--samples=20]
+//                     [--dump=prefix]
+//
+// With no file argument, a built-in demo RLC netlist is used.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "circuit/parser.hpp"
+#include "mor/error.hpp"
+#include "mor/passivity.hpp"
+#include "mor/pmtbr.hpp"
+#include "mor/prima.hpp"
+#include "mor/pvl.hpp"
+#include "mor/tbr.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+
+using namespace pmtbr;
+
+namespace {
+
+constexpr const char* kDemoNetlist = R"(* demo: two coupled lossy LC tanks behind an RC front end
+R1  in   a    25
+C1  a    0    2p
+L1  a    b    3n
+R2  b    c    1
+C2  c    0    1p
+L2  c    d    2n
+K1  L1   L2   0.25
+R3  d    0    50
+C3  in   0    0.5p
+C4  b    0    0.2p
+C5  d    0    0.3p
+.port in
+.end
+)";
+
+void dump_matrix(const std::string& path, const la::MatD& m) {
+  std::ofstream f(path);
+  for (la::index i = 0; i < m.rows(); ++i) {
+    for (la::index j = 0; j < m.cols(); ++j) f << (j ? "," : "") << format_double(m(i, j));
+    f << '\n';
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+
+  circuit::Netlist nl;
+  if (args.positional().empty()) {
+    std::cout << "no netlist given; using the built-in demo RLC network\n";
+    nl = circuit::parse_netlist_string(kDemoNetlist);
+  } else {
+    std::ifstream f(args.positional()[0]);
+    if (!f) {
+      std::cerr << "cannot open " << args.positional()[0] << '\n';
+      return 1;
+    }
+    nl = circuit::parse_netlist(f);
+  }
+  const DescriptorSystem sys = circuit::assemble_mna(nl);
+  std::cout << "parsed: " << nl.num_nodes() << " nodes, " << sys.n() << " states, "
+            << sys.num_inputs() << " port(s)\n";
+
+  const std::string method = args.get("method", "pmtbr");
+  const double fmax = args.get_double("fmax", 1e10);
+  const int order = args.get_int("order", -1);
+  mor::ReducedModel model;
+
+  if (method == "pmtbr") {
+    mor::PmtbrOptions opts;
+    opts.bands = {mor::Band{0.0, fmax}};
+    opts.num_samples = args.get_int("samples", 20);
+    if (order > 0)
+      opts.fixed_order = order;
+    else
+      opts.truncation_tol = args.get_double("tol", 1e-8);
+    model = mor::pmtbr(sys, opts).model;
+  } else if (method == "tbr") {
+    mor::TbrOptions opts;
+    if (order > 0)
+      opts.fixed_order = order;
+    else
+      opts.error_tol = args.get_double("tol", 1e-8);
+    model = mor::tbr(sys, opts).model;
+  } else if (method == "prima") {
+    mor::PrimaOptions opts;
+    opts.num_moments = order > 0 ? order : 4;
+    model = mor::prima(sys, opts).model;
+  } else if (method == "pvl") {
+    mor::PvlOptions opts;
+    opts.order = order > 0 ? order : 6;
+    model = mor::pvl(sys, opts).model;
+  } else {
+    std::cerr << "unknown --method=" << method << " (pmtbr|tbr|prima|pvl)\n";
+    return 1;
+  }
+
+  std::cout << method << " reduced model: " << model.system.n() << " states\n";
+
+  const auto grid = mor::logspace_grid(std::max(1e5, fmax * 1e-5), fmax, 40);
+  const auto err = mor::compare_on_grid(sys, model.system, grid);
+  std::cout << "max relative error on [" << grid.front() << ", " << grid.back()
+            << "] Hz: " << err.max_rel << '\n';
+
+  const auto rep = mor::check_passivity(model.system, grid);
+  std::cout << "stability: " << (rep.stable ? "stable" : "UNSTABLE")
+            << " (pole margin " << rep.min_pole_margin << ")\n"
+            << "grid dissipativity: " << (rep.dissipative_on_grid ? "passive" : "NOT passive")
+            << " (min eig " << rep.min_dissipation << " @ " << rep.worst_frequency_hz
+            << " Hz)\n";
+
+  if (args.has("dump")) {
+    const std::string prefix = args.get("dump", "reduced");
+    dump_matrix(prefix + "_E.csv", model.system.e());
+    dump_matrix(prefix + "_A.csv", model.system.a());
+    dump_matrix(prefix + "_B.csv", model.system.b());
+    dump_matrix(prefix + "_C.csv", model.system.c());
+    std::cout << "wrote " << prefix << "_{E,A,B,C}.csv\n";
+  }
+  return 0;
+}

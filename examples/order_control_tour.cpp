@@ -1,0 +1,61 @@
+// Tour of PMTBR's order-control machinery (paper Sec. V-B/C): the
+// incremental compressor, trailing singular values as error estimates, the
+// adaptive stopping rule, and the comparison against the exact TBR bound.
+//
+//   ./order_control_tour [--levels=6]
+#include <cstdio>
+#include <iostream>
+
+#include "circuit/generators.hpp"
+#include "mor/error.hpp"
+#include "mor/pmtbr.hpp"
+#include "mor/tbr.hpp"
+#include "util/cli.hpp"
+
+using namespace pmtbr;
+
+int main(int argc, char** argv) {
+  const ArgParser args(argc, argv);
+  circuit::ClockTreeParams cp;
+  cp.levels = args.get_int("levels", 6);
+  const DescriptorSystem sys = circuit::make_clock_tree(cp);
+  std::cout << "clock tree: " << sys.n() << " states\n\n";
+
+  // 1. Tolerance-driven order selection.
+  std::cout << "tolerance-driven order selection (60-sample budget, adaptive 2.5x rule):\n";
+  std::cout << "  tolerance  order  samples  realized max-rel-error\n";
+  const auto grid = mor::logspace_grid(1e6, 1e10, 25);
+  for (const double tol : {1e-2, 1e-4, 1e-6, 1e-8}) {
+    mor::PmtbrOptions opts;
+    opts.bands = {mor::Band{0.0, 1e10}};
+    opts.num_samples = 60;
+    opts.truncation_tol = tol;
+    opts.adaptive_excess = 2.5;
+    const auto res = mor::pmtbr(sys, opts);
+    const auto err = mor::compare_on_grid(sys, res.model.system, grid);
+    std::printf("  %8.0e  %5td  %7zu  %g\n", tol, res.model.system.n(),
+                res.samples_used.size(), err.max_rel);
+  }
+
+  // 2. The singular-value "tail" vs the exact TBR bound.
+  std::cout << "\nPMTBR tail estimate vs exact Glover bound (both normalized):\n";
+  mor::PmtbrOptions opts;
+  opts.bands = {mor::Band{0.0, 1e10}};
+  opts.num_samples = 50;
+  opts.fixed_order = 12;
+  const auto res = mor::pmtbr(sys, opts);
+  const auto hsv = mor::hankel_singular_values(sys);
+  const auto& sv = res.model.singular_values;
+  double sv_total = 0;
+  for (double s : sv) sv_total += s;
+  std::cout << "  order  pmtbr_tail  tbr_bound\n";
+  for (la::index q = 2; q <= 12; q += 2) {
+    double tail = 0;
+    for (std::size_t i = static_cast<std::size_t>(q); i < sv.size(); ++i) tail += sv[i];
+    std::printf("  %5td  %10.3e  %9.3e\n", q, tail / sv_total,
+                mor::tbr_error_bound(hsv, q) / mor::tbr_error_bound(hsv, 0));
+  }
+  std::cout << "\nBoth decay together: the sampled spectrum is a usable stand-in for the\n"
+               "Hankel spectrum when choosing the model order (paper Sec. V-B).\n";
+  return 0;
+}

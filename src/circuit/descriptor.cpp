@@ -1,0 +1,171 @@
+#include "circuit/descriptor.hpp"
+
+#include <cmath>
+
+#include "la/cholesky.hpp"
+#include "la/lu.hpp"
+#include "la/ops.hpp"
+#include "sparse/rcm.hpp"
+#include "sparse/splu.hpp"
+
+namespace pmtbr {
+
+using la::cd;
+using la::index;
+using la::MatC;
+using la::MatD;
+
+DescriptorSystem::DescriptorSystem(sparse::CsrD e, sparse::CsrD a, MatD b, MatD c)
+    : e_(std::move(e)), a_(std::move(a)), b_(std::move(b)), c_(std::move(c)) {
+  PMTBR_REQUIRE(e_.rows() == e_.cols() && a_.rows() == a_.cols(), "E, A must be square");
+  PMTBR_REQUIRE(e_.rows() == a_.rows(), "E, A size mismatch");
+  PMTBR_REQUIRE(b_.rows() == e_.rows(), "B row count must equal state count");
+  PMTBR_REQUIRE(c_.cols() == e_.rows(), "C column count must equal state count");
+}
+
+DescriptorSystem DescriptorSystem::with_ports(const std::vector<index>& cols,
+                                              bool restrict_outputs) const {
+  MatD b(n(), static_cast<index>(cols.size()));
+  for (index j = 0; j < static_cast<index>(cols.size()); ++j) {
+    PMTBR_REQUIRE(cols[static_cast<std::size_t>(j)] < num_inputs(), "port index out of range");
+    for (index i = 0; i < n(); ++i) b(i, j) = b_(i, cols[static_cast<std::size_t>(j)]);
+  }
+  MatD c = c_;
+  if (restrict_outputs) {
+    c = MatD(static_cast<index>(cols.size()), n());
+    for (index i = 0; i < static_cast<index>(cols.size()); ++i) {
+      PMTBR_REQUIRE(cols[static_cast<std::size_t>(i)] < num_outputs(), "port index out of range");
+      for (index j = 0; j < n(); ++j) c(i, j) = c_(cols[static_cast<std::size_t>(i)], j);
+    }
+  }
+  return DescriptorSystem(e_, a_, std::move(b), std::move(c));
+}
+
+const std::vector<index>& DescriptorSystem::ordering() const {
+  if (!ordering_) {
+    const sparse::CsrD pattern = sparse::combine(1.0, e_, 1.0, a_);
+    ordering_ = std::make_shared<const std::vector<index>>(sparse::rcm_ordering(pattern));
+  }
+  return *ordering_;
+}
+
+MatC DescriptorSystem::solve_shifted(cd s, const MatC& rhs) const {
+  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
+  const sparse::SparseLuC lu(pencil, ordering());
+  return lu.solve(rhs);
+}
+
+MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {
+  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
+  const sparse::SparseLuC lu(pencil, ordering());
+  MatC x(rhs.rows(), rhs.cols());
+  for (index j = 0; j < rhs.cols(); ++j) x.set_col(j, lu.solve_adjoint(rhs.col(j)));
+  return x;
+}
+
+MatC DescriptorSystem::solve_shifted_transpose(cd s, const MatC& rhs) const {
+  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
+  const sparse::SparseLuC lu(pencil, ordering());
+  MatC x(rhs.rows(), rhs.cols());
+  for (index j = 0; j < rhs.cols(); ++j) x.set_col(j, lu.solve_transpose(rhs.col(j)));
+  return x;
+}
+
+MatC DescriptorSystem::transfer(cd s) const {
+  const MatC x = solve_shifted(s, la::to_complex(b_));
+  return la::matmul(la::to_complex(c_), x);
+}
+
+DenseStandard to_dense_standard(const DescriptorSystem& sys) {
+  const MatD e = sys.e().to_dense();
+  const la::LuD lu(e);  // throws if E is singular
+  DenseStandard out;
+  out.a = lu.solve(sys.a().to_dense());
+  out.b = lu.solve(sys.b());
+  out.c = sys.c();
+  return out;
+}
+
+DescriptorSystem to_symmetric_standard(const DescriptorSystem& sys) {
+  const index n = sys.n();
+  // Extract the diagonal of E and verify there is nothing off-diagonal.
+  std::vector<double> d(static_cast<std::size_t>(n), 0.0);
+  const auto& e = sys.e();
+  for (index i = 0; i < n; ++i)
+    for (index k = e.row_ptr()[static_cast<std::size_t>(i)];
+         k < e.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index j = e.col_idx()[static_cast<std::size_t>(k)];
+      const double v = e.values()[static_cast<std::size_t>(k)];
+      PMTBR_REQUIRE(i == j || v == 0.0, "to_symmetric_standard requires diagonal E");
+      if (i == j) d[static_cast<std::size_t>(i)] += v;
+    }
+  std::vector<double> s(static_cast<std::size_t>(n));  // E^{-1/2} diagonal
+  for (index i = 0; i < n; ++i) {
+    PMTBR_REQUIRE(d[static_cast<std::size_t>(i)] > 0.0,
+                  "to_symmetric_standard requires positive diagonal E");
+    s[static_cast<std::size_t>(i)] = 1.0 / std::sqrt(d[static_cast<std::size_t>(i)]);
+  }
+
+  sparse::Triplets<double> ta(n, n), te(n, n);
+  const auto& a = sys.a();
+  for (index i = 0; i < n; ++i) {
+    te.add(i, i, 1.0);
+    for (index k = a.row_ptr()[static_cast<std::size_t>(i)];
+         k < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index j = a.col_idx()[static_cast<std::size_t>(k)];
+      ta.add(i, j,
+             s[static_cast<std::size_t>(i)] * a.values()[static_cast<std::size_t>(k)] *
+                 s[static_cast<std::size_t>(j)]);
+    }
+  }
+  MatD b(n, sys.num_inputs());
+  for (index i = 0; i < n; ++i)
+    for (index j = 0; j < sys.num_inputs(); ++j)
+      b(i, j) = s[static_cast<std::size_t>(i)] * sys.b()(i, j);
+  MatD c(sys.num_outputs(), n);
+  for (index i = 0; i < sys.num_outputs(); ++i)
+    for (index j = 0; j < n; ++j) c(i, j) = sys.c()(i, j) * s[static_cast<std::size_t>(j)];
+  return DescriptorSystem(sparse::CsrD(te), sparse::CsrD(ta), std::move(b), std::move(c));
+}
+
+DescriptorSystem to_energy_standard(const DescriptorSystem& sys) {
+  // Fast path: diagonal E.
+  {
+    bool diagonal = true;
+    const auto& e = sys.e();
+    for (index i = 0; i < sys.n() && diagonal; ++i)
+      for (index k = e.row_ptr()[static_cast<std::size_t>(i)];
+           k < e.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k)
+        if (e.col_idx()[static_cast<std::size_t>(k)] != i &&
+            e.values()[static_cast<std::size_t>(k)] != 0.0)
+          diagonal = false;
+    if (diagonal) return to_symmetric_standard(sys);
+  }
+
+  const MatD e = sys.e().to_dense();
+  const MatD l = la::cholesky(e);  // throws if E is not SPD
+  const la::LuD lul(l);
+
+  const auto linv = [&](const MatD& m) {  // L^{-1} m
+    MatD out(m.rows(), m.cols());
+    for (index j = 0; j < m.cols(); ++j) out.set_col(j, lul.solve(m.col(j)));
+    return out;
+  };
+  // Ã = L^{-1} A L^{-T} computed as transpose(L^{-1} transpose(L^{-1} A)).
+  const MatD atil = la::transpose(linv(la::transpose(linv(sys.a().to_dense()))));
+  const MatD btil = linv(sys.b());
+  const MatD ctil = la::transpose(linv(la::transpose(sys.c())));
+  return from_dense(atil, btil, ctil);
+}
+
+DescriptorSystem from_dense(const MatD& a, const MatD& b, const MatD& c) {
+  const index n = a.rows();
+  sparse::Triplets<double> te(n, n), ta(n, n);
+  for (index i = 0; i < n; ++i) {
+    te.add(i, i, 1.0);
+    for (index j = 0; j < n; ++j) ta.add(i, j, a(i, j));
+  }
+  return DescriptorSystem(sparse::CsrD(te), sparse::CsrD(ta), b, c);
+}
+
+}  // namespace pmtbr

@@ -1,0 +1,89 @@
+// Sparse descriptor state-space system E dx/dt = A x + B u, y = C x — the
+// common currency between the circuit substrate and the MOR algorithms.
+//
+// E is allowed to be singular (standard for MNA); everything PMTBR needs is
+// the shifted solve (sE - A)^{-1}, which stays well-posed as long as the
+// pencil is regular. The RCM ordering of the union pattern is computed once
+// and reused by every factorization.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "sparse/csr.hpp"
+
+namespace pmtbr {
+
+class DescriptorSystem {
+ public:
+  DescriptorSystem() = default;
+  DescriptorSystem(sparse::CsrD e, sparse::CsrD a, la::MatD b, la::MatD c);
+
+  la::index n() const { return e_.rows(); }          // states
+  la::index num_inputs() const { return b_.cols(); }
+  la::index num_outputs() const { return c_.rows(); }
+
+  const sparse::CsrD& e() const { return e_; }
+  const sparse::CsrD& a() const { return a_; }
+  const la::MatD& b() const { return b_; }
+  const la::MatD& c() const { return c_; }
+
+  /// Restrict to a subset of input columns (paper Sec. IV-A: entropy grows
+  /// with added inputs). Outputs are restricted to the matching rows when
+  /// the system is reciprocal (C = B^T); pass restrict_outputs=false to keep
+  /// all outputs.
+  DescriptorSystem with_ports(const std::vector<la::index>& cols,
+                              bool restrict_outputs = true) const;
+
+  /// X = (sE - A)^{-1} R for a dense complex right-hand side.
+  la::MatC solve_shifted(la::cd s, const la::MatC& rhs) const;
+
+  /// X = (sE - A)^{-H} R (adjoint solve; observability-side samples).
+  la::MatC solve_shifted_adjoint(la::cd s, const la::MatC& rhs) const;
+
+  /// X = (sE - A)^{-T} R (plain transpose solve; cross-Gramian samples).
+  la::MatC solve_shifted_transpose(la::cd s, const la::MatC& rhs) const;
+
+  /// Transfer function H(s) = C (sE - A)^{-1} B.
+  la::MatC transfer(la::cd s) const;
+
+  /// Fill-reducing ordering of the union pattern, computed lazily and cached.
+  const std::vector<la::index>& ordering() const;
+
+ private:
+  sparse::CsrD e_, a_;
+  la::MatD b_, c_;
+  mutable std::shared_ptr<const std::vector<la::index>> ordering_;  // lazy cache
+};
+
+/// Dense standard-form copy (Ad = E^{-1}A, Bd = E^{-1}B): requires E
+/// invertible; used by the exact-TBR baseline and small-system tests.
+struct DenseStandard {
+  la::MatD a, b, c;
+};
+DenseStandard to_dense_standard(const DescriptorSystem& sys);
+
+/// Wrap dense standard-form matrices (E = I) as a descriptor system.
+DescriptorSystem from_dense(const la::MatD& a, const la::MatD& b, const la::MatD& c);
+
+/// Symmetry-preserving standard form for systems with *diagonal* SPD E
+/// (e.g. RC networks with grounded capacitors): x̃ = E^{1/2} x gives
+/// Ã = E^{-1/2} A E^{-1/2}, B̃ = E^{-1/2} B, C̃ = C E^{-1/2}, Ẽ = I.
+/// In these coordinates a reciprocal RC network satisfies Ã = Ã^T,
+/// C̃ = B̃^T, so the controllability and observability Gramians coincide
+/// and the PMTBR singular values estimate the Hankel singular values
+/// directly (paper Sec. III-A). Throws if E is not diagonal positive.
+DescriptorSystem to_symmetric_standard(const DescriptorSystem& sys);
+
+/// Energy coordinates for general SPD E (RLC MNA with grounded caps and a
+/// positive-definite inductance matrix): factors E = L L^T (dense Cholesky,
+/// O(n^3) — fine at reduced-bench scale) and transforms x̃ = L^T x, so the
+/// Euclidean norm of the transformed state equals the physical energy norm
+/// x^T E x. One-sided PMTBR's SVD then ranks sample directions by energy
+/// instead of by raw voltage/current magnitudes, which is decisive on RLC
+/// systems where the two state families have wildly different scales.
+/// Dispatches to the sparse-preserving diagonal path when E is diagonal.
+DescriptorSystem to_energy_standard(const DescriptorSystem& sys);
+
+}  // namespace pmtbr

@@ -1,0 +1,129 @@
+// Parameterized generators for the seven benchmark circuits of the paper's
+// evaluation section (Sec. VI). Each returns an assembled descriptor system;
+// DESIGN.md documents how each stands in for the paper's extracted netlist.
+//
+// All generators build circuits whose E matrix is nonsingular (every node
+// carries a grounded capacitor, inductance matrices are strictly diagonally
+// dominant), so the exact-TBR baseline is applicable; PMTBR itself never
+// needs this.
+#pragma once
+
+#include <cstdint>
+
+#include "circuit/descriptor.hpp"
+#include "circuit/netlist.hpp"
+
+namespace pmtbr::circuit {
+
+/// Uniform RC line: `segments` series resistors, grounded capacitor at each
+/// internal node. Port at the driven end; optionally one at the far end.
+struct RcLineParams {
+  index segments = 50;
+  double r_per_segment = 10.0;     // ohms
+  double c_per_segment = 1e-13;    // farads
+  bool far_end_port = false;
+};
+DescriptorSystem make_rc_line(const RcLineParams& p = {});
+
+/// rows×cols RC mesh (Fig. 3): neighbor resistors, grounded capacitor at
+/// every node, `num_ports` ports placed with uniform stride over the nodes.
+struct RcMeshParams {
+  index rows = 12;
+  index cols = 12;
+  index num_ports = 4;
+  double r = 100.0;
+  double c = 1e-13;
+  /// Per-node resistance to ground (substrate-style): gives the mesh many
+  /// comparable local relaxation modes, so the Hankel spectrum broadens
+  /// with port count (the Fig. 3 phenomenon).
+  double r_ground = 2000.0;
+};
+DescriptorSystem make_rc_mesh(const RcMeshParams& p = {});
+
+/// Binary RC clock distribution tree (Figs. 5, 6): `levels` levels of
+/// branching wire segments, larger sink capacitance at the leaves, driver
+/// port at the root. SISO and finite-bandwidth to a good approximation.
+struct ClockTreeParams {
+  index levels = 7;
+  double segment_r = 25.0;
+  double segment_c = 2e-14;
+  double leaf_load_c = 2e-13;
+};
+DescriptorSystem make_clock_tree(const ClockTreeParams& p = {});
+
+/// Bus of `lines` coupled RC lines (Figs. 12–14): each line `segments` long,
+/// neighbor lines coupled capacitively; one port at each line's near end.
+struct MultiportRcParams {
+  index lines = 32;
+  index segments = 6;
+  double r_per_segment = 50.0;
+  double c_ground = 2e-14;
+  double c_coupling = 1e-14;
+};
+DescriptorSystem make_multiport_rc(const MultiportRcParams& p = {});
+
+/// On-chip spiral inductor (Figs. 7–9): series R–L ladder with inter-turn
+/// mutual coupling decaying quadratically with turn distance, oxide
+/// capacitance and substrate loss at each junction. One port (impedance).
+struct SpiralParams {
+  index turns = 30;
+  double r_per_turn = 2.5;         // realistic on-chip Q (~5-15)
+  double l_per_turn = 3e-10;
+  double coupling = 0.25;          // M_ij = coupling * L / |i-j|^2
+  double c_oxide = 4e-15;
+  double r_substrate = 1500.0;
+};
+DescriptorSystem make_spiral(const SpiralParams& p = {});
+
+/// PEEC-style lumped RLC resonator chain (Fig. 10): `sections` series R–L
+/// segments with grounded capacitors whose values vary along the chain,
+/// producing many sharp in-band resonances. SISO.
+struct PeecParams {
+  index sections = 40;
+  double base_l = 1e-9;
+  double base_c = 1e-12;
+  double loss_r = 0.05;            // small series loss => high Q
+  double variation = 0.6;          // per-section LC spread (log scale)
+  std::uint64_t seed = 7;
+};
+DescriptorSystem make_peec(const PeecParams& p = {});
+
+/// 18-pin shielded connector (Fig. 11): per-pin lumped transmission line
+/// sections with (weak, shielded) neighbor-pin capacitive and inductive
+/// coupling; ports at pin 0 near end (drive), pin 0 far end (through) and
+/// pin 1 far end (crosstalk).
+struct ConnectorParams {
+  index pins = 18;
+  index sections = 6;
+  double section_l = 1.2e-9;
+  double section_r = 0.4;
+  double section_c = 4e-13;
+  double coupling_c = 2e-14;       // shielded pins: weak coupling
+  double coupling_k = 0.05;        // mutual = k * L between neighbor pins
+  double termination_r = 400.0;    // lightly damped far-end termination
+
+  /// Shield-cavity resonances: high-Q series-RLC branches on the ported
+  /// pins, tuned above the 0-8 GHz band of interest. These are the large
+  /// out-of-band features that trap global TBR effort in Fig. 11.
+  bool cavity_branches = true;
+  double cavity_f_lo = 1.0e10;
+  double cavity_f_hi = 1.8e10;
+  double cavity_l = 5e-10;
+  double cavity_r = 0.05;          // series loss => Q in the hundreds
+};
+DescriptorSystem make_connector(const ConnectorParams& p = {});
+
+/// Substrate coupling network (Figs. 15, 16): grid×grid resistive bulk mesh
+/// with vertical RC to the backplane; `num_ports` contact nodes selected
+/// with a seeded shuffle.
+struct SubstrateParams {
+  index grid = 16;
+  index num_ports = 150;
+  double r_lateral = 50.0;
+  double r_vertical = 2000.0;
+  double c_vertical = 5e-14;
+  std::uint64_t seed = 11;
+};
+DescriptorSystem make_substrate(const SubstrateParams& p = {});
+
+}  // namespace pmtbr::circuit

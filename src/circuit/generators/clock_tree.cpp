@@ -1,0 +1,38 @@
+#include "circuit/generators.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_clock_tree(const ClockTreeParams& p) {
+  PMTBR_REQUIRE(p.levels >= 1 && p.levels <= 12, "levels must be in [1, 12]");
+  Netlist nl;
+  const index root = nl.add_node();
+  nl.add_port(root);
+  nl.add_capacitor(root, 0, p.segment_c);
+
+  // Breadth-first construction of a binary tree of wire segments; wire
+  // width (hence R, C per segment) tapers with depth as in sized clock
+  // trees: upstream segments are wider (lower R, higher C).
+  std::vector<index> frontier{root};
+  for (index level = 1; level <= p.levels; ++level) {
+    const double scale = static_cast<double>(level);
+    const double r = p.segment_r * scale;
+    const double c = p.segment_c / scale;
+    std::vector<index> next;
+    next.reserve(frontier.size() * 2);
+    for (const index parent : frontier) {
+      for (int child = 0; child < 2; ++child) {
+        const index node = nl.add_node();
+        nl.add_resistor(parent, node, r);
+        nl.add_capacitor(node, 0, c);
+        if (level == p.levels) nl.add_capacitor(node, 0, p.leaf_load_c);
+        next.push_back(node);
+      }
+    }
+    frontier = std::move(next);
+  }
+  // Weak dc path to ground at the root (driver output resistance).
+  nl.add_resistor(root, 0, 50.0 * p.segment_r);
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

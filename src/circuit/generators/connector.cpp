@@ -1,0 +1,82 @@
+#include "circuit/generators.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_connector(const ConnectorParams& p) {
+  PMTBR_REQUIRE(p.pins >= 2 && p.sections >= 2, "need >= 2 pins and >= 2 sections");
+  PMTBR_REQUIRE(p.coupling_k >= 0 && p.coupling_k < 0.5, "coupling_k must be in [0, 0.5)");
+
+  Netlist nl;
+  // node(pin, s) for s in [0, sections]; s = 0 is the near (board) end.
+  std::vector<std::vector<index>> node(static_cast<std::size_t>(p.pins));
+  std::vector<std::vector<index>> coil(static_cast<std::size_t>(p.pins));
+  for (index pin = 0; pin < p.pins; ++pin) {
+    auto& nn = node[static_cast<std::size_t>(pin)];
+    nn.resize(static_cast<std::size_t>(p.sections) + 1);
+    for (index s = 0; s <= p.sections; ++s) nn[static_cast<std::size_t>(s)] = nl.add_node();
+
+    auto& cc = coil[static_cast<std::size_t>(pin)];
+    cc.resize(static_cast<std::size_t>(p.sections));
+    nl.add_capacitor(nn[0], 0, 0.5 * p.section_c);
+    for (index s = 0; s < p.sections; ++s) {
+      // Section: series R then L, shunt C to the shield (ground) at the far
+      // node. The internal R|L split node carries a small shunt C so the
+      // capacitance matrix stays nonsingular.
+      const index mid = nl.add_node();
+      nl.add_resistor(nn[static_cast<std::size_t>(s)], mid, p.section_r);
+      cc[static_cast<std::size_t>(s)] =
+          nl.add_inductor(mid, nn[static_cast<std::size_t>(s) + 1], p.section_l);
+      nl.add_capacitor(mid, 0, 0.05 * p.section_c);
+      nl.add_capacitor(nn[static_cast<std::size_t>(s) + 1], 0, p.section_c);
+    }
+    // Weak far-end termination (open pins in the measurement fixture).
+    nl.add_resistor(nn[static_cast<std::size_t>(p.sections)], 0, p.termination_r);
+    nl.add_resistor(nn[0], 0, p.termination_r);
+  }
+
+  // Neighbor-pin coupling: capacitive at matching section nodes, inductive
+  // between matching section coils.
+  for (index pin = 0; pin + 1 < p.pins; ++pin) {
+    for (index s = 1; s <= p.sections; ++s)
+      nl.add_capacitor(node[static_cast<std::size_t>(pin)][static_cast<std::size_t>(s)],
+                       node[static_cast<std::size_t>(pin) + 1][static_cast<std::size_t>(s)],
+                       p.coupling_c);
+    for (index s = 0; s < p.sections; ++s)
+      nl.add_mutual(coil[static_cast<std::size_t>(pin)][static_cast<std::size_t>(s)],
+                    coil[static_cast<std::size_t>(pin) + 1][static_cast<std::size_t>(s)],
+                    p.coupling_k * p.section_l);
+  }
+
+  // Shield-cavity branches: series R-L-C to ground at every section node of
+  // the two ported pins, tuned log-spaced across [cavity_f_lo, cavity_f_hi].
+  if (p.cavity_branches) {
+    const index branches = 2 * p.sections;
+    index bidx = 0;
+    for (const index pin : {la::index{0}, la::index{1}}) {
+      for (index s = 1; s <= p.sections; ++s, ++bidx) {
+        const double frac = static_cast<double>(bidx) / static_cast<double>(branches - 1);
+        const double f0 = p.cavity_f_lo * std::pow(p.cavity_f_hi / p.cavity_f_lo, frac);
+        const double w0 = 2.0 * 3.14159265358979323846 * f0;
+        const double cav_c = 1.0 / (w0 * w0 * p.cavity_l);
+        const index m1 = nl.add_node();
+        const index m2 = nl.add_node();
+        nl.add_resistor(node[static_cast<std::size_t>(pin)][static_cast<std::size_t>(s)], m1,
+                        p.cavity_r);
+        nl.add_inductor(m1, m2, p.cavity_l);
+        nl.add_capacitor(m2, 0, cav_c);
+        // Tiny shunt keeps the capacitance matrix nonsingular at m1.
+        nl.add_capacitor(m1, 0, 1e-17);
+      }
+    }
+  }
+
+  // Ports: drive pin 0 near end, observe pin 0 far end (through path with
+  // transmission-line resonances) and the adjacent pin's far end (near-end
+  // crosstalk path).
+  nl.add_port(node[0][0]);
+  nl.add_port(node[0][static_cast<std::size_t>(p.sections)]);
+  nl.add_port(node[1][static_cast<std::size_t>(p.sections)]);
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,39 @@
+#include "circuit/generators.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_multiport_rc(const MultiportRcParams& p) {
+  PMTBR_REQUIRE(p.lines >= 2 && p.segments >= 1, "need >= 2 lines, >= 1 segment");
+  Netlist nl;
+  // node(line, seg) for seg in [0, segments]; seg 0 is the driven end.
+  std::vector<std::vector<index>> node(static_cast<std::size_t>(p.lines));
+  for (index l = 0; l < p.lines; ++l) {
+    node[static_cast<std::size_t>(l)].resize(static_cast<std::size_t>(p.segments) + 1);
+    for (index s = 0; s <= p.segments; ++s)
+      node[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)] = nl.add_node();
+  }
+
+  for (index l = 0; l < p.lines; ++l) {
+    const auto& ln = node[static_cast<std::size_t>(l)];
+    nl.add_port(ln[0]);
+    nl.add_capacitor(ln[0], 0, p.c_ground);
+    // Weak dc leak so G is nonsingular.
+    nl.add_resistor(ln[0], 0, 1e6 * p.r_per_segment);
+    for (index s = 0; s < p.segments; ++s) {
+      nl.add_resistor(ln[static_cast<std::size_t>(s)], ln[static_cast<std::size_t>(s) + 1],
+                      p.r_per_segment);
+      nl.add_capacitor(ln[static_cast<std::size_t>(s) + 1], 0, p.c_ground);
+    }
+  }
+  // Neighbor-line coupling capacitors along the full length.
+  for (index l = 0; l + 1 < p.lines; ++l) {
+    for (index s = 1; s <= p.segments; ++s) {
+      nl.add_capacitor(node[static_cast<std::size_t>(l)][static_cast<std::size_t>(s)],
+                       node[static_cast<std::size_t>(l) + 1][static_cast<std::size_t>(s)],
+                       p.c_coupling);
+    }
+  }
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,41 @@
+#include "circuit/generators.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_peec(const PeecParams& p) {
+  PMTBR_REQUIRE(p.sections >= 2, "peec chain needs at least two sections");
+  Rng rng(p.seed);
+
+  Netlist nl;
+  // Chain of nodes joined by lossy inductive segments; each node carries a
+  // grounded capacitor. The per-section L and C values are spread over a
+  // log range (seeded), which scatters many distinct high-Q resonances
+  // across the band — the feature of the PEEC example that makes naive
+  // quadrature hard (paper Sec. VI-A3).
+  index prev = nl.add_node();
+  nl.add_port(prev);
+  nl.add_capacitor(prev, 0, p.base_c);
+  nl.add_resistor(prev, 0, 1e5);  // weak dc reference
+
+  for (index s = 0; s < p.sections; ++s) {
+    const double spread_l = std::exp(p.variation * rng.uniform(-1.0, 1.0));
+    const double spread_c = std::exp(p.variation * rng.uniform(-1.0, 1.0));
+    const index mid = nl.add_node();
+    const index next = nl.add_node();
+    nl.add_resistor(prev, mid, p.loss_r);
+    nl.add_inductor(mid, next, p.base_l * spread_l);
+    nl.add_capacitor(mid, 0, 0.05 * p.base_c);
+    nl.add_capacitor(next, 0, p.base_c * spread_c);
+    prev = next;
+  }
+  // Light resistive termination keeps the dc operating point defined while
+  // preserving sharp resonances.
+  nl.add_resistor(prev, 0, 2e3);
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

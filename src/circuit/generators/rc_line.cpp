@@ -1,0 +1,24 @@
+#include "circuit/generators.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_rc_line(const RcLineParams& p) {
+  PMTBR_REQUIRE(p.segments >= 1, "rc_line needs at least one segment");
+  Netlist nl;
+  index prev = nl.add_node();
+  nl.add_port(prev);
+  nl.add_capacitor(prev, 0, p.c_per_segment);
+  for (index k = 0; k < p.segments; ++k) {
+    const index next = nl.add_node();
+    nl.add_resistor(prev, next, p.r_per_segment);
+    nl.add_capacitor(next, 0, p.c_per_segment);
+    prev = next;
+  }
+  if (p.far_end_port) nl.add_port(prev);
+  // Weak dc leak so the conductance matrix is nonsingular (PRIMA expands
+  // about s0 = 0 and needs an invertible A).
+  nl.add_resistor(prev, 0, 1e6 * p.r_per_segment);
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,31 @@
+#include "circuit/generators.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_rc_mesh(const RcMeshParams& p) {
+  PMTBR_REQUIRE(p.rows >= 2 && p.cols >= 2, "mesh must be at least 2x2");
+  PMTBR_REQUIRE(p.num_ports >= 1 && p.num_ports <= p.rows * p.cols,
+                "port count must be in [1, rows*cols]");
+  Netlist nl;
+  const index n = p.rows * p.cols;
+  nl.ensure_node(n);  // nodes 1..n, node id = 1 + r*cols + c
+
+  const auto id = [&](index r, index c) { return 1 + r * p.cols + c; };
+  for (index r = 0; r < p.rows; ++r) {
+    for (index c = 0; c < p.cols; ++c) {
+      nl.add_capacitor(id(r, c), 0, p.c);
+      nl.add_resistor(id(r, c), 0, p.r_ground);
+      if (c + 1 < p.cols) nl.add_resistor(id(r, c), id(r, c + 1), p.r);
+      if (r + 1 < p.rows) nl.add_resistor(id(r, c), id(r + 1, c), p.r);
+    }
+  }
+
+  // Uniform-stride port placement over the node list.
+  for (index k = 0; k < p.num_ports; ++k) {
+    const index node = 1 + (k * n) / p.num_ports;
+    nl.add_port(node);
+  }
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,49 @@
+#include "circuit/generators.hpp"
+
+#include <cmath>
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_spiral(const SpiralParams& p) {
+  PMTBR_REQUIRE(p.turns >= 2, "spiral needs at least two turns");
+  // coupling/|i-j|^2 summed over all neighbors must stay below 1 for the
+  // inductance matrix to remain strictly diagonally dominant (passive).
+  PMTBR_REQUIRE(p.coupling >= 0 && p.coupling < 0.3, "coupling must be in [0, 0.3)");
+
+  Netlist nl;
+  // Junction nodes 1..turns+1; the port drives node 1, the far end returns
+  // to ground through the last junction's substrate path.
+  std::vector<index> junction(static_cast<std::size_t>(p.turns) + 1);
+  for (auto& j : junction) j = nl.add_node();
+  nl.add_port(junction[0]);
+
+  std::vector<index> coil(static_cast<std::size_t>(p.turns));
+  for (index t = 0; t < p.turns; ++t) {
+    // Each turn: series R then L between consecutive junctions. An internal
+    // node splits the R and L parts of the segment.
+    const index mid = nl.add_node();
+    nl.add_resistor(junction[static_cast<std::size_t>(t)], mid, p.r_per_turn);
+    coil[static_cast<std::size_t>(t)] =
+        nl.add_inductor(mid, junction[static_cast<std::size_t>(t) + 1], p.l_per_turn);
+    // The internal node needs a (small) grounded capacitor so E stays
+    // nonsingular; physically this is distributed oxide capacitance.
+    nl.add_capacitor(mid, 0, 0.2 * p.c_oxide);
+  }
+  // Inter-turn magnetic coupling with quadratic distance decay.
+  for (index i = 0; i < p.turns; ++i)
+    for (index j = i + 1; j < p.turns; ++j) {
+      const double d = static_cast<double>(j - i);
+      nl.add_mutual(coil[static_cast<std::size_t>(i)], coil[static_cast<std::size_t>(j)],
+                    p.coupling * p.l_per_turn / (d * d));
+    }
+  // Oxide capacitance and substrate loss at each junction.
+  for (index t = 0; t <= p.turns; ++t) {
+    nl.add_capacitor(junction[static_cast<std::size_t>(t)], 0, p.c_oxide);
+    nl.add_resistor(junction[static_cast<std::size_t>(t)], 0, p.r_substrate);
+  }
+  // Far end of the coil tied to ground through a contact resistance.
+  nl.add_resistor(junction[static_cast<std::size_t>(p.turns)], 0, 2.0 * p.r_per_turn);
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,36 @@
+#include "circuit/generators.hpp"
+
+#include "util/rng.hpp"
+
+namespace pmtbr::circuit {
+
+DescriptorSystem make_substrate(const SubstrateParams& p) {
+  const index n = p.grid * p.grid;
+  PMTBR_REQUIRE(p.grid >= 2, "substrate grid must be at least 2x2");
+  PMTBR_REQUIRE(p.num_ports >= 1 && p.num_ports <= n, "port count must be in [1, grid^2]");
+
+  Netlist nl;
+  nl.ensure_node(n);
+  const auto id = [&](index r, index c) { return 1 + r * p.grid + c; };
+
+  for (index r = 0; r < p.grid; ++r) {
+    for (index c = 0; c < p.grid; ++c) {
+      // Lateral bulk resistance to grid neighbors.
+      if (c + 1 < p.grid) nl.add_resistor(id(r, c), id(r, c + 1), p.r_lateral);
+      if (r + 1 < p.grid) nl.add_resistor(id(r, c), id(r + 1, c), p.r_lateral);
+      // Vertical path to the grounded backplane: R parallel C.
+      nl.add_resistor(id(r, c), 0, p.r_vertical);
+      nl.add_capacitor(id(r, c), 0, p.c_vertical);
+    }
+  }
+
+  // Contact (port) nodes: seeded shuffle, first num_ports entries.
+  Rng rng(p.seed);
+  const auto perm = rng.permutation(static_cast<std::size_t>(n));
+  for (index k = 0; k < p.num_ports; ++k)
+    nl.add_port(1 + static_cast<index>(perm[static_cast<std::size_t>(k)]));
+
+  return assemble_mna(nl);
+}
+
+}  // namespace pmtbr::circuit

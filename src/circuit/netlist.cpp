@@ -1,0 +1,113 @@
+#include "circuit/netlist.hpp"
+
+#include <algorithm>
+
+namespace pmtbr::circuit {
+
+void Netlist::check_node(index node) const {
+  PMTBR_REQUIRE(0 <= node && node <= num_nodes_, "node id out of range (use add_node)");
+}
+
+index Netlist::add_node() { return ++num_nodes_; }
+
+void Netlist::ensure_node(index node) {
+  PMTBR_REQUIRE(node >= 0, "node id must be nonnegative");
+  num_nodes_ = std::max(num_nodes_, node);
+}
+
+void Netlist::add_resistor(index n1, index n2, double ohms) {
+  PMTBR_REQUIRE(ohms > 0, "resistance must be positive");
+  add_conductance(n1, n2, 1.0 / ohms);
+}
+
+void Netlist::add_conductance(index n1, index n2, double siemens) {
+  check_node(n1);
+  check_node(n2);
+  PMTBR_REQUIRE(siemens > 0, "conductance must be positive");
+  PMTBR_REQUIRE(n1 != n2, "element terminals must differ");
+  conductances_.push_back({n1, n2, siemens});
+}
+
+void Netlist::add_capacitor(index n1, index n2, double farads) {
+  check_node(n1);
+  check_node(n2);
+  PMTBR_REQUIRE(farads > 0, "capacitance must be positive");
+  PMTBR_REQUIRE(n1 != n2, "element terminals must differ");
+  capacitors_.push_back({n1, n2, farads});
+}
+
+index Netlist::add_inductor(index n1, index n2, double henries) {
+  check_node(n1);
+  check_node(n2);
+  PMTBR_REQUIRE(henries > 0, "inductance must be positive");
+  PMTBR_REQUIRE(n1 != n2, "element terminals must differ");
+  inductors_.push_back({n1, n2, henries});
+  return static_cast<index>(inductors_.size()) - 1;
+}
+
+void Netlist::add_mutual(index l1, index l2, double m) {
+  PMTBR_REQUIRE(0 <= l1 && l1 < num_inductors() && 0 <= l2 && l2 < num_inductors(),
+                "mutual references unknown inductor");
+  PMTBR_REQUIRE(l1 != l2, "mutual must couple two distinct inductors");
+  mutuals_.push_back({l1, l2, m});
+}
+
+void Netlist::add_port(index node) {
+  check_node(node);
+  PMTBR_REQUIRE(node != 0, "port cannot be at ground");
+  ports_.push_back(node);
+}
+
+DescriptorSystem assemble_mna(const Netlist& nl) {
+  const index nv = nl.num_nodes();
+  const index nl_count = nl.num_inductors();
+  const index n = nv + nl_count;
+  const index p = nl.num_ports();
+  PMTBR_REQUIRE(nv > 0, "netlist has no nodes");
+  PMTBR_REQUIRE(p > 0, "netlist has no ports");
+
+  sparse::Triplets<double> te(n, n), ta(n, n);
+
+  // Stamp a two-terminal admittance-like element into a matrix block.
+  const auto stamp = [](sparse::Triplets<double>& t, index n1, index n2, double v) {
+    if (n1 > 0) t.add(n1 - 1, n1 - 1, v);
+    if (n2 > 0) t.add(n2 - 1, n2 - 1, v);
+    if (n1 > 0 && n2 > 0) {
+      t.add(n1 - 1, n2 - 1, -v);
+      t.add(n2 - 1, n1 - 1, -v);
+    }
+  };
+
+  for (const auto& g : nl.conductances()) stamp(ta, g.n1, g.n2, -g.value);  // A = -G
+  for (const auto& c : nl.capacitors()) stamp(te, c.n1, c.n2, c.value);
+
+  // Inductor branch equations: L di/dt = v(n1) - v(n2); KCL gets -i at n1, +i at n2.
+  for (index k = 0; k < nl_count; ++k) {
+    const auto& l = nl.inductors()[static_cast<std::size_t>(k)];
+    te.add(nv + k, nv + k, l.value);
+    if (l.n1 > 0) {
+      ta.add(l.n1 - 1, nv + k, -1.0);  // KCL: current leaves n1
+      ta.add(nv + k, l.n1 - 1, 1.0);   // branch: +v(n1)
+    }
+    if (l.n2 > 0) {
+      ta.add(l.n2 - 1, nv + k, 1.0);
+      ta.add(nv + k, l.n2 - 1, -1.0);
+    }
+  }
+  for (const auto& m : nl.mutuals()) {
+    te.add(nv + m.l1, nv + m.l2, m.m);
+    te.add(nv + m.l2, nv + m.l1, m.m);
+  }
+
+  la::MatD b(n, p);
+  la::MatD c(p, n);
+  for (index j = 0; j < p; ++j) {
+    const index node = nl.ports()[static_cast<std::size_t>(j)];
+    b(node - 1, j) = 1.0;
+    c(j, node - 1) = 1.0;
+  }
+
+  return DescriptorSystem(sparse::CsrD(te), sparse::CsrD(ta), std::move(b), std::move(c));
+}
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,81 @@
+// Linear circuit netlist: resistors, capacitors, (mutually coupled)
+// inductors, and current-injection ports.
+//
+// Node 0 is ground. Ports are defined at a node against ground: the port
+// input is an injected current, the port output is the node voltage — the
+// impedance-parameter convention used throughout the paper's examples,
+// which yields the reciprocal structure C = B^T for RC(L) networks.
+#pragma once
+
+#include <vector>
+
+#include "circuit/descriptor.hpp"
+
+namespace pmtbr::circuit {
+
+using la::index;
+
+class Netlist {
+ public:
+  Netlist() = default;
+
+  /// Creates a new node and returns its id (>= 1; 0 is ground).
+  index add_node();
+
+  /// Ensures node ids up to `node` exist (convenience for grid generators).
+  void ensure_node(index node);
+
+  void add_resistor(index n1, index n2, double ohms);
+  void add_conductance(index n1, index n2, double siemens);
+  void add_capacitor(index n1, index n2, double farads);
+
+  /// Returns the inductor's index for mutual coupling.
+  index add_inductor(index n1, index n2, double henries);
+
+  /// Mutual inductance between two previously added inductors. The assembled
+  /// inductance matrix must stay positive definite (checked downstream by
+  /// passivity tests, not here).
+  void add_mutual(index l1, index l2, double henries);
+
+  /// Current-injection port at `node` (against ground); port order is the
+  /// order of addition.
+  void add_port(index node);
+
+  index num_nodes() const { return num_nodes_; }       // excluding ground
+  index num_inductors() const { return static_cast<index>(inductors_.size()); }
+  index num_ports() const { return static_cast<index>(ports_.size()); }
+
+  struct TwoTerminal {
+    index n1, n2;
+    double value;
+  };
+  struct Mutual {
+    index l1, l2;
+    double m;
+  };
+
+  const std::vector<TwoTerminal>& conductances() const { return conductances_; }
+  const std::vector<TwoTerminal>& capacitors() const { return capacitors_; }
+  const std::vector<TwoTerminal>& inductors() const { return inductors_; }
+  const std::vector<Mutual>& mutuals() const { return mutuals_; }
+  const std::vector<index>& ports() const { return ports_; }
+
+ private:
+  void check_node(index node) const;
+
+  index num_nodes_ = 0;
+  std::vector<TwoTerminal> conductances_;  // stored as conductance values
+  std::vector<TwoTerminal> capacitors_;
+  std::vector<TwoTerminal> inductors_;
+  std::vector<Mutual> mutuals_;
+  std::vector<index> ports_;
+};
+
+/// Assembles the netlist into PRIMA-form MNA:
+///   E = [[Ccap, 0], [0, L]],  A = -[[G, Einc], [-Einc^T, 0]],
+///   states = [node voltages; inductor currents], B = C^T from the ports.
+/// E + E^T >= 0 and -(A + A^T) >= 0 hold by construction, which is what
+/// congruence-projection passivity arguments rely on (paper Sec. V-E).
+DescriptorSystem assemble_mna(const Netlist& nl);
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,175 @@
+#include "circuit/parser.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pmtbr::circuit {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+[[noreturn]] void parse_error(int line, const std::string& msg) {
+  throw std::invalid_argument("netlist parse error at line " + std::to_string(line) + ": " + msg);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) {
+    if (tok[0] == '*' || tok[0] == ';') break;  // trailing comment
+    out.push_back(tok);
+  }
+  return out;
+}
+
+}  // namespace
+
+double parse_value(const std::string& token) {
+  PMTBR_REQUIRE(!token.empty(), "empty value token");
+  std::size_t pos = 0;
+  double base = 0;
+  try {
+    base = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("malformed value '" + token + "'");
+  }
+  const std::string suffix = lower(token.substr(pos));
+  if (suffix.empty()) return base;
+  // "meg" must be matched before "m".
+  static const std::map<std::string, double> scale{
+      {"f", 1e-15}, {"p", 1e-12}, {"n", 1e-9}, {"u", 1e-6}, {"m", 1e-3},
+      {"k", 1e3},   {"meg", 1e6}, {"g", 1e9},  {"t", 1e12}};
+  // Accept trailing unit letters after the scale (e.g. "1kohm", "2pf").
+  for (const auto& [suf, mult] : std::map<std::string, double>{{"meg", 1e6}}) {
+    if (suffix.rfind(suf, 0) == 0) return base * mult;
+  }
+  const auto it = scale.find(suffix.substr(0, 1));
+  if (it != scale.end()) return base * it->second;
+  throw std::invalid_argument("unknown value suffix '" + suffix + "' in '" + token + "'");
+}
+
+Netlist parse_netlist(std::istream& in) {
+  Netlist nl;
+  std::map<std::string, la::index> nodes{{"0", 0}, {"gnd", 0}};
+  std::map<std::string, la::index> inductors;  // card name -> inductor index
+  std::map<std::string, double> inductances;   // card name -> value
+  struct PendingMutual {
+    std::string l1, l2;
+    double k;
+    int line;
+  };
+  std::vector<PendingMutual> mutuals;
+
+  const auto node_id = [&](const std::string& name) {
+    const std::string key = lower(name);
+    const auto it = nodes.find(key);
+    if (it != nodes.end()) return it->second;
+    const la::index id = nl.add_node();
+    nodes.emplace(key, id);
+    return id;
+  };
+
+  std::string line;
+  int lineno = 0;
+  bool ended = false;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    if (ended) parse_error(lineno, "content after .end");
+    const std::string head = lower(toks[0]);
+
+    if (head == ".end") {
+      ended = true;
+      continue;
+    }
+    if (head == ".port") {
+      if (toks.size() != 2) parse_error(lineno, ".port expects one node");
+      const auto n = node_id(toks[1]);
+      if (n == 0) parse_error(lineno, "port cannot be at ground");
+      nl.add_port(n);
+      continue;
+    }
+    if (head[0] == '.') parse_error(lineno, "unknown directive '" + toks[0] + "'");
+
+    switch (head[0]) {
+      case 'r':
+      case 'c':
+      case 'l': {
+        if (toks.size() != 4) parse_error(lineno, "element expects: name n1 n2 value");
+        const auto n1 = node_id(toks[1]);
+        const auto n2 = node_id(toks[2]);
+        double v = 0;
+        try {
+          v = parse_value(toks[3]);
+        } catch (const std::exception& e) {
+          parse_error(lineno, e.what());
+        }
+        try {
+          if (head[0] == 'r') {
+            nl.add_resistor(n1, n2, v);
+          } else if (head[0] == 'c') {
+            nl.add_capacitor(n1, n2, v);
+          } else {
+            const auto idx = nl.add_inductor(n1, n2, v);
+            const std::string key = lower(toks[0]);
+            if (!inductors.emplace(key, idx).second)
+              parse_error(lineno, "duplicate inductor name '" + toks[0] + "'");
+            inductances.emplace(key, v);
+          }
+        } catch (const std::exception& e) {
+          parse_error(lineno, e.what());
+        }
+        break;
+      }
+      case 'k': {
+        if (toks.size() != 4) parse_error(lineno, "K expects: name L1 L2 k");
+        double k = 0;
+        try {
+          k = parse_value(toks[3]);
+        } catch (const std::exception& e) {
+          parse_error(lineno, e.what());
+        }
+        if (!(std::abs(k) < 1.0)) parse_error(lineno, "coupling coefficient must satisfy |k| < 1");
+        mutuals.push_back({lower(toks[1]), lower(toks[2]), k, lineno});
+        break;
+      }
+      default:
+        parse_error(lineno, "unknown card '" + toks[0] + "'");
+    }
+  }
+
+  // Resolve mutual couplings after all inductors are known.
+  for (const auto& m : mutuals) {
+    const auto i1 = inductors.find(m.l1);
+    const auto i2 = inductors.find(m.l2);
+    if (i1 == inductors.end() || i2 == inductors.end())
+      parse_error(m.line, "mutual references unknown inductor");
+    const double mval = m.k * std::sqrt(inductances.at(m.l1) * inductances.at(m.l2));
+    try {
+      nl.add_mutual(i1->second, i2->second, mval);
+    } catch (const std::exception& e) {
+      parse_error(m.line, e.what());
+    }
+  }
+  return nl;
+}
+
+Netlist parse_netlist_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_netlist(is);
+}
+
+}  // namespace pmtbr::circuit

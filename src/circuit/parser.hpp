@@ -1,0 +1,33 @@
+// SPICE-like netlist text parser.
+//
+// Supported cards (case-insensitive, '*' or ';' comments, blank lines ok):
+//   R<name> n1 n2 value          resistor (ohms)
+//   C<name> n1 n2 value          capacitor (farads)
+//   L<name> n1 n2 value          inductor (henries)
+//   K<name> Lname1 Lname2 k      mutual coupling, M = k*sqrt(L1*L2), |k|<1
+//   .port n                      current-injection port at node n
+//   .end                         optional terminator
+//
+// Node names are arbitrary tokens; "0" and "gnd" are ground. Values accept
+// engineering suffixes f p n u m k meg g t (e.g. 1.5p, 2MEG).
+#pragma once
+
+#include <istream>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace pmtbr::circuit {
+
+/// Parses a netlist from a stream; throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+Netlist parse_netlist(std::istream& in);
+
+/// Convenience: parse from a string.
+Netlist parse_netlist_string(const std::string& text);
+
+/// Parses one engineering-notation value ("1.5p", "2MEG", "4.7"); throws on
+/// malformed input. Exposed for tests.
+double parse_value(const std::string& token);
+
+}  // namespace pmtbr::circuit

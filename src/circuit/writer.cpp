@@ -1,0 +1,40 @@
+#include "circuit/writer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace pmtbr::circuit {
+
+void write_netlist(const Netlist& nl, std::ostream& out, const std::string& title) {
+  out << "* " << title << '\n';
+  int idx = 1;
+  for (const auto& g : nl.conductances())
+    out << 'R' << idx++ << ' ' << g.n1 << ' ' << g.n2 << ' ' << format_double(1.0 / g.value)
+        << '\n';
+  idx = 1;
+  for (const auto& c : nl.capacitors())
+    out << 'C' << idx++ << ' ' << c.n1 << ' ' << c.n2 << ' ' << format_double(c.value) << '\n';
+  idx = 1;
+  for (const auto& l : nl.inductors())
+    out << 'L' << idx++ << ' ' << l.n1 << ' ' << l.n2 << ' ' << format_double(l.value) << '\n';
+  idx = 1;
+  for (const auto& m : nl.mutuals()) {
+    const double l1 = nl.inductors()[static_cast<std::size_t>(m.l1)].value;
+    const double l2 = nl.inductors()[static_cast<std::size_t>(m.l2)].value;
+    const double k = m.m / std::sqrt(l1 * l2);
+    out << 'K' << idx++ << " L" << (m.l1 + 1) << " L" << (m.l2 + 1) << ' ' << format_double(k)
+        << '\n';
+  }
+  for (const auto p : nl.ports()) out << ".port " << p << '\n';
+  out << ".end\n";
+}
+
+std::string netlist_to_string(const Netlist& nl, const std::string& title) {
+  std::ostringstream os;
+  write_netlist(nl, os, title);
+  return os.str();
+}
+
+}  // namespace pmtbr::circuit

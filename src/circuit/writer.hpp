@@ -1,0 +1,22 @@
+// Netlist serialization — the inverse of circuit/parser.hpp. Emits R/C/L/K
+// and .port cards that parse_netlist() reads back verbatim, enabling
+// synthesized macromodels to be handed to any SPICE-class tool.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace pmtbr::circuit {
+
+/// Writes the netlist as parser-compatible cards. `title` becomes the
+/// leading comment line.
+void write_netlist(const Netlist& nl, std::ostream& out,
+                   const std::string& title = "pmtbr synthesized netlist");
+
+/// Convenience: serialize to a string.
+std::string netlist_to_string(const Netlist& nl,
+                              const std::string& title = "pmtbr synthesized netlist");
+
+}  // namespace pmtbr::circuit

@@ -1,0 +1,124 @@
+// Dense matrix and vector types, templated on scalar (double or
+// std::complex<double>), row-major storage.
+//
+// These are deliberately small value types: algorithms live in free
+// functions (la/ops.hpp, la/lu.hpp, ...) rather than member functions, so
+// the type stays stable while the algorithm library grows.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace pmtbr::la {
+
+using cd = std::complex<double>;
+using index = std::ptrdiff_t;
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  Matrix(index rows, index cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+    PMTBR_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
+  }
+
+  /// Row-major initializer: Matrix<double>{{1,2},{3,4}}.
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = static_cast<index>(rows.size());
+    cols_ = rows_ ? static_cast<index>(rows.begin()->size()) : 0;
+    data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+    for (const auto& r : rows) {
+      PMTBR_REQUIRE(static_cast<index>(r.size()) == cols_, "ragged initializer list");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  static Matrix identity(index n) {
+    Matrix m(n, n);
+    for (index i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  index rows() const { return rows_; }
+  index cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+  std::size_t size() const { return data_.size(); }
+
+  T& operator()(index i, index j) { return data_[static_cast<std::size_t>(i * cols_ + j)]; }
+  const T& operator()(index i, index j) const {
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T* row_ptr(index i) { return data_.data() + i * cols_; }
+  const T* row_ptr(index i) const { return data_.data() + i * cols_; }
+
+  /// Columns [c0, c1) as a new matrix.
+  Matrix columns(index c0, index c1) const {
+    PMTBR_REQUIRE(0 <= c0 && c0 <= c1 && c1 <= cols_, "column range out of bounds");
+    Matrix out(rows_, c1 - c0);
+    for (index i = 0; i < rows_; ++i)
+      for (index j = c0; j < c1; ++j) out(i, j - c0) = (*this)(i, j);
+    return out;
+  }
+
+  /// Rows [r0, r1) as a new matrix.
+  Matrix rows_range(index r0, index r1) const {
+    PMTBR_REQUIRE(0 <= r0 && r0 <= r1 && r1 <= rows_, "row range out of bounds");
+    Matrix out(r1 - r0, cols_);
+    for (index i = r0; i < r1; ++i)
+      for (index j = 0; j < cols_; ++j) out(i - r0, j) = (*this)(i, j);
+    return out;
+  }
+
+  std::vector<T> col(index j) const {
+    std::vector<T> v(static_cast<std::size_t>(rows_));
+    for (index i = 0; i < rows_; ++i) v[static_cast<std::size_t>(i)] = (*this)(i, j);
+    return v;
+  }
+
+  void set_col(index j, const std::vector<T>& v) {
+    PMTBR_REQUIRE(static_cast<index>(v.size()) == rows_, "column length mismatch");
+    for (index i = 0; i < rows_; ++i) (*this)(i, j) = v[static_cast<std::size_t>(i)];
+  }
+
+  Matrix& operator+=(const Matrix& o) {
+    PMTBR_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in +=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] += o.data_[k];
+    return *this;
+  }
+  Matrix& operator-=(const Matrix& o) {
+    PMTBR_REQUIRE(rows_ == o.rows_ && cols_ == o.cols_, "shape mismatch in -=");
+    for (std::size_t k = 0; k < data_.size(); ++k) data_[k] -= o.data_[k];
+    return *this;
+  }
+  Matrix& operator*=(T s) {
+    for (auto& x : data_) x *= s;
+    return *this;
+  }
+
+  friend Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+  friend Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+  friend Matrix operator*(Matrix a, T s) { return a *= s; }
+  friend Matrix operator*(T s, Matrix a) { return a *= s; }
+
+ private:
+  index rows_ = 0;
+  index cols_ = 0;
+  std::vector<T> data_;
+};
+
+using MatD = Matrix<double>;
+using MatC = Matrix<cd>;
+using VecD = std::vector<double>;
+using VecC = std::vector<cd>;
+
+}  // namespace pmtbr::la

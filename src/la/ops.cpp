@@ -1,0 +1,168 @@
+#include "la/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pmtbr::la {
+
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  PMTBR_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop contiguous in row-major storage.
+  for (index i = 0; i < a.rows(); ++i) {
+    T* ci = c.row_ptr(i);
+    for (index k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      const T* bk = b.row_ptr(k);
+      for (index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+template <typename T>
+std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x) {
+  PMTBR_REQUIRE(a.cols() == static_cast<index>(x.size()), "matvec shape mismatch");
+  std::vector<T> y(static_cast<std::size_t>(a.rows()), T{});
+  for (index i = 0; i < a.rows(); ++i) {
+    const T* ai = a.row_ptr(i);
+    T acc{};
+    for (index j = 0; j < a.cols(); ++j) acc += ai[j] * x[static_cast<std::size_t>(j)];
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+  return t;
+}
+
+MatC adjoint(const MatC& a) {
+  MatC t(a.cols(), a.rows());
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) t(j, i) = std::conj(a(i, j));
+  return t;
+}
+
+MatD adjoint(const MatD& a) { return transpose(a); }
+
+template <typename T>
+double norm_fro(const Matrix<T>& a) {
+  double s = 0;
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) s += std::norm(cd(a(i, j)));
+  return std::sqrt(s);
+}
+
+template <typename T>
+double norm_inf(const Matrix<T>& a) {
+  double best = 0;
+  for (index i = 0; i < a.rows(); ++i) {
+    double s = 0;
+    for (index j = 0; j < a.cols(); ++j) s += std::abs(cd(a(i, j)));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+template <typename T>
+double norm2(const std::vector<T>& v) {
+  double s = 0;
+  for (const auto& x : v) s += std::norm(cd(x));
+  return std::sqrt(s);
+}
+
+template <typename T>
+T dot(const std::vector<T>& a, const std::vector<T>& b) {
+  PMTBR_REQUIRE(a.size() == b.size(), "dot length mismatch");
+  T acc{};
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    if constexpr (std::is_same_v<T, cd>) {
+      acc += std::conj(a[k]) * b[k];
+    } else {
+      acc += a[k] * b[k];
+    }
+  }
+  return acc;
+}
+
+MatC to_complex(const MatD& a) {
+  MatC c(a.rows(), a.cols());
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) c(i, j) = cd(a(i, j), 0.0);
+  return c;
+}
+
+MatD real_part(const MatC& a) {
+  MatD r(a.rows(), a.cols());
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).real();
+  return r;
+}
+
+MatD imag_part(const MatC& a) {
+  MatD r(a.rows(), a.cols());
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) r(i, j) = a(i, j).imag();
+  return r;
+}
+
+MatD realify_columns(const MatC& a) {
+  MatD r(a.rows(), 2 * a.cols());
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) {
+      r(i, 2 * j) = a(i, j).real();
+      r(i, 2 * j + 1) = a(i, j).imag();
+    }
+  return r;
+}
+
+template <typename T>
+Matrix<T> hcat(const Matrix<T>& a, const Matrix<T>& b) {
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  PMTBR_REQUIRE(a.rows() == b.rows(), "hcat row mismatch");
+  Matrix<T> c(a.rows(), a.cols() + b.cols());
+  for (index i = 0; i < a.rows(); ++i) {
+    for (index j = 0; j < a.cols(); ++j) c(i, j) = a(i, j);
+    for (index j = 0; j < b.cols(); ++j) c(i, a.cols() + j) = b(i, j);
+  }
+  return c;
+}
+
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
+  PMTBR_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(), "shape mismatch");
+  double best = 0;
+  for (index i = 0; i < a.rows(); ++i)
+    for (index j = 0; j < a.cols(); ++j) best = std::max(best, std::abs(cd(a(i, j)) - cd(b(i, j))));
+  return best;
+}
+
+// Explicit instantiations for the two supported scalars.
+template Matrix<double> matmul(const Matrix<double>&, const Matrix<double>&);
+template Matrix<cd> matmul(const Matrix<cd>&, const Matrix<cd>&);
+template std::vector<double> matvec(const Matrix<double>&, const std::vector<double>&);
+template std::vector<cd> matvec(const Matrix<cd>&, const std::vector<cd>&);
+template Matrix<double> transpose(const Matrix<double>&);
+template Matrix<cd> transpose(const Matrix<cd>&);
+template double norm_fro(const Matrix<double>&);
+template double norm_fro(const Matrix<cd>&);
+template double norm_inf(const Matrix<double>&);
+template double norm_inf(const Matrix<cd>&);
+template double norm2(const std::vector<double>&);
+template double norm2(const std::vector<cd>&);
+template double dot(const std::vector<double>&, const std::vector<double>&);
+template cd dot(const std::vector<cd>&, const std::vector<cd>&);
+template Matrix<double> hcat(const Matrix<double>&, const Matrix<double>&);
+template Matrix<cd> hcat(const Matrix<cd>&, const Matrix<cd>&);
+template double max_abs_diff(const Matrix<double>&, const Matrix<double>&);
+template double max_abs_diff(const Matrix<cd>&, const Matrix<cd>&);
+
+}  // namespace pmtbr::la

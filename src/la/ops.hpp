@@ -1,0 +1,63 @@
+// BLAS-like dense kernels: products, transposes, norms, real/complex
+// conversion helpers. All free functions over la::Matrix.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::la {
+
+// --- products -------------------------------------------------------------
+
+/// C = A * B.
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b);
+
+/// y = A * x.
+template <typename T>
+std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x);
+
+/// A^T (plain transpose, no conjugation).
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a);
+
+/// A^H for complex, A^T for real.
+MatC adjoint(const MatC& a);
+MatD adjoint(const MatD& a);
+
+// --- norms and reductions ---------------------------------------------------
+
+template <typename T>
+double norm_fro(const Matrix<T>& a);
+
+template <typename T>
+double norm_inf(const Matrix<T>& a);  // max row sum
+
+template <typename T>
+double norm2(const std::vector<T>& v);  // Euclidean
+
+template <typename T>
+T dot(const std::vector<T>& a, const std::vector<T>& b);  // conjugating for complex
+
+// --- conversions ------------------------------------------------------------
+
+MatC to_complex(const MatD& a);
+MatD real_part(const MatC& a);
+MatD imag_part(const MatC& a);
+
+/// [Re(A) | Im(A)] as a real matrix with twice the columns — the standard
+/// realification of conjugate-pair frequency samples.
+MatD realify_columns(const MatC& a);
+
+// --- assembly helpers ---------------------------------------------------------
+
+/// Horizontal concatenation [A | B].
+template <typename T>
+Matrix<T> hcat(const Matrix<T>& a, const Matrix<T>& b);
+
+/// Maximum absolute difference between two matrices (shape-checked).
+template <typename T>
+double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b);
+
+}  // namespace pmtbr::la

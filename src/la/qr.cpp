@@ -1,0 +1,149 @@
+#include "la/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pmtbr::la {
+
+namespace {
+
+// Applies a Householder reflector stored in v (v[0..m-j)) to columns [j, n)
+// of the working matrix rows [j, m).
+template <typename T>
+void apply_reflector(Matrix<T>& a, index j0, index col0, const std::vector<T>& v, double beta) {
+  const index m = a.rows(), n = a.cols();
+  for (index j = col0; j < n; ++j) {
+    T s{};
+    for (index i = j0; i < m; ++i) {
+      if constexpr (std::is_same_v<T, cd>) {
+        s += std::conj(v[static_cast<std::size_t>(i - j0)]) * a(i, j);
+      } else {
+        s += v[static_cast<std::size_t>(i - j0)] * a(i, j);
+      }
+    }
+    s *= T{beta};
+    for (index i = j0; i < m; ++i) a(i, j) -= v[static_cast<std::size_t>(i - j0)] * s;
+  }
+}
+
+template <typename T>
+QrResult<T> qr_impl(Matrix<T> a, bool pivot, double rel_tol) {
+  const index m = a.rows(), n = a.cols();
+  const index k = std::min(m, n);
+  QrResult<T> out;
+  out.perm.resize(static_cast<std::size_t>(n));
+  std::iota(out.perm.begin(), out.perm.end(), index{0});
+
+  std::vector<double> colnorm2(static_cast<std::size_t>(n), 0.0);
+  if (pivot) {
+    for (index j = 0; j < n; ++j) {
+      double s = 0;
+      for (index i = 0; i < m; ++i) s += std::norm(cd(a(i, j)));
+      colnorm2[static_cast<std::size_t>(j)] = s;
+    }
+  }
+
+  std::vector<std::vector<T>> reflectors;
+  std::vector<double> betas;
+  reflectors.reserve(static_cast<std::size_t>(k));
+
+  for (index j = 0; j < k; ++j) {
+    if (pivot) {
+      index p = j;
+      double best = colnorm2[static_cast<std::size_t>(j)];
+      for (index c = j + 1; c < n; ++c)
+        if (colnorm2[static_cast<std::size_t>(c)] > best) {
+          best = colnorm2[static_cast<std::size_t>(c)];
+          p = c;
+        }
+      if (p != j) {
+        for (index i = 0; i < m; ++i) std::swap(a(i, j), a(i, p));
+        std::swap(colnorm2[static_cast<std::size_t>(j)], colnorm2[static_cast<std::size_t>(p)]);
+        std::swap(out.perm[static_cast<std::size_t>(j)], out.perm[static_cast<std::size_t>(p)]);
+      }
+    }
+
+    // Build the Householder vector for column j.
+    std::vector<T> v(static_cast<std::size_t>(m - j));
+    double xnorm = 0;
+    for (index i = j; i < m; ++i) {
+      v[static_cast<std::size_t>(i - j)] = a(i, j);
+      xnorm += std::norm(cd(a(i, j)));
+    }
+    xnorm = std::sqrt(xnorm);
+    double beta = 0.0;
+    if (xnorm > 0) {
+      T alpha = v[0];
+      const double aabs = std::abs(cd(alpha));
+      // phase = alpha/|alpha| (or 1 if alpha==0) so the pivot becomes real.
+      T phase = aabs > 0 ? alpha * T{1.0 / aabs} : T{1};
+      const T vhead = alpha + phase * T{xnorm};
+      v[0] = vhead;
+      double vnorm2 = std::norm(cd(vhead)) + xnorm * xnorm - aabs * aabs;
+      if (vnorm2 > 0) {
+        beta = 2.0 / vnorm2;
+        apply_reflector(a, j, j, v, beta);
+      }
+    }
+    reflectors.push_back(std::move(v));
+    betas.push_back(beta);
+
+    if (pivot) {
+      for (index c = j + 1; c < n; ++c)
+        colnorm2[static_cast<std::size_t>(c)] -= std::norm(cd(a(j, c)));
+    }
+  }
+
+  out.r = Matrix<T>(k, n);
+  for (index i = 0; i < k; ++i)
+    for (index j = i; j < n; ++j) out.r(i, j) = a(i, j);
+
+  // Accumulate thin Q by applying the reflectors to the first k columns of I.
+  Matrix<T> q(m, k);
+  for (index j = 0; j < k; ++j) q(j, j) = T{1};
+  for (index j = k - 1; j >= 0; --j) {
+    if (betas[static_cast<std::size_t>(j)] == 0.0) continue;
+    apply_reflector(q, j, 0, reflectors[static_cast<std::size_t>(j)],
+                    betas[static_cast<std::size_t>(j)]);
+  }
+  out.q = std::move(q);
+
+  if (pivot) {
+    const double r00 = std::abs(cd(out.r(0, 0)));
+    index r = 0;
+    for (index i = 0; i < k; ++i)
+      if (std::abs(cd(out.r(i, i))) > rel_tol * r00) ++r;
+    out.rank = r;
+  } else {
+    out.rank = k;
+  }
+  return out;
+}
+
+}  // namespace
+
+template <typename T>
+QrResult<T> qr(const Matrix<T>& a) {
+  return qr_impl(a, /*pivot=*/false, 0.0);
+}
+
+template <typename T>
+QrResult<T> qr_pivoted(const Matrix<T>& a, double rel_tol) {
+  return qr_impl(a, /*pivot=*/true, rel_tol);
+}
+
+template <typename T>
+Matrix<T> orth(const Matrix<T>& a, double rel_tol) {
+  auto f = qr_pivoted(a, rel_tol);
+  return f.q.columns(0, std::max<index>(f.rank, 1));
+}
+
+template QrResult<double> qr(const Matrix<double>&);
+template QrResult<cd> qr(const Matrix<cd>&);
+template QrResult<double> qr_pivoted(const Matrix<double>&, double);
+template QrResult<cd> qr_pivoted(const Matrix<cd>&, double);
+template Matrix<double> orth(const Matrix<double>&, double);
+template Matrix<cd> orth(const Matrix<cd>&, double);
+
+}  // namespace pmtbr::la

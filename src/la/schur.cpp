@@ -1,0 +1,254 @@
+#include "la/schur.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "la/ops.hpp"
+
+namespace pmtbr::la {
+
+namespace {
+
+// Reduces A to upper Hessenberg form H = Q^H A Q, accumulating Q.
+void hessenberg(MatC& a, MatC& q) {
+  const index n = a.rows();
+  q = MatC::identity(n);
+  for (index k = 0; k < n - 2; ++k) {
+    // Householder on column k, rows k+1..n-1.
+    double xnorm = 0;
+    for (index i = k + 1; i < n; ++i) xnorm += std::norm(a(i, k));
+    xnorm = std::sqrt(xnorm);
+    if (xnorm == 0) continue;
+    std::vector<cd> v(static_cast<std::size_t>(n - k - 1));
+    for (index i = k + 1; i < n; ++i) v[static_cast<std::size_t>(i - k - 1)] = a(i, k);
+    const cd alpha = v[0];
+    const double aabs = std::abs(alpha);
+    const cd phase = aabs > 0 ? alpha / aabs : cd{1};
+    v[0] = alpha + phase * xnorm;
+    const double vnorm2 = 2.0 * xnorm * xnorm + 2.0 * aabs * xnorm;
+    if (vnorm2 == 0) continue;
+    const double beta = 2.0 / vnorm2;
+
+    // A <- P A (rows k+1..n-1)
+    for (index j = 0; j < n; ++j) {
+      cd s{};
+      for (index i = k + 1; i < n; ++i)
+        s += std::conj(v[static_cast<std::size_t>(i - k - 1)]) * a(i, j);
+      s *= beta;
+      for (index i = k + 1; i < n; ++i) a(i, j) -= v[static_cast<std::size_t>(i - k - 1)] * s;
+    }
+    // A <- A P (cols k+1..n-1)
+    for (index i = 0; i < n; ++i) {
+      cd s{};
+      for (index j = k + 1; j < n; ++j) s += a(i, j) * v[static_cast<std::size_t>(j - k - 1)];
+      s *= beta;
+      for (index j = k + 1; j < n; ++j)
+        a(i, j) -= s * std::conj(v[static_cast<std::size_t>(j - k - 1)]);
+    }
+    // Q <- Q P
+    for (index i = 0; i < n; ++i) {
+      cd s{};
+      for (index j = k + 1; j < n; ++j) s += q(i, j) * v[static_cast<std::size_t>(j - k - 1)];
+      s *= beta;
+      for (index j = k + 1; j < n; ++j)
+        q(i, j) -= s * std::conj(v[static_cast<std::size_t>(j - k - 1)]);
+    }
+  }
+}
+
+// Complex Givens rotation zeroing b: [c, s; -conj(s), c] with c real.
+void givens(cd a, cd b, double& c, cd& s) {
+  const double na = std::abs(a), nb = std::abs(b);
+  if (nb == 0) {
+    c = 1;
+    s = cd{0};
+    return;
+  }
+  const double r = std::hypot(na, nb);
+  c = na / r;
+  if (na == 0) {
+    // a == 0: rotate b straight into the diagonal.
+    s = std::conj(b) / std::abs(b);
+  } else {
+    s = (a / na) * std::conj(b) / r;
+  }
+}
+
+// Shifted QR iteration on the Hessenberg matrix h (in place), accumulating
+// transformations into q. Returns false on non-convergence.
+bool qr_iterate(MatC& h, MatC& q) {
+  const index n = h.rows();
+  const double eps = std::numeric_limits<double>::epsilon();
+  // A slightly relaxed deflation threshold (20·eps relative) avoids the
+  // near-stationary subdiagonals that arise for eigenvalue clusters of high
+  // multiplicity (e.g. symmetric tree circuits); the eigenvalue
+  // perturbation this introduces is still O(20·eps)·||H||.
+  const double defl = 20.0 * eps;
+  index hi = n - 1;
+  int iter_since_deflate = 0;
+  const int max_iter = 120;
+
+  while (hi > 0) {
+    // Deflation scan.
+    index lo = hi;
+    while (lo > 0) {
+      const double sub = std::abs(h(lo, lo - 1));
+      const double scale = std::abs(h(lo - 1, lo - 1)) + std::abs(h(lo, lo));
+      if (sub <= defl * std::max(scale, 1e-300)) {
+        h(lo, lo - 1) = cd{0};
+        break;
+      }
+      --lo;
+    }
+    if (lo == hi) {
+      --hi;
+      iter_since_deflate = 0;
+      continue;
+    }
+
+    if (++iter_since_deflate > max_iter) return false;
+
+    // Wilkinson shift from the trailing 2x2 block, computed in the
+    // cancellation-free form mu = a22 - q / (d ± sqrt(d² + q)) with
+    // d = (a11 - a22)/2, q = a12·a21 (avoids forming tr² - 4·det, which
+    // cancels catastrophically for equal diagonals of large magnitude).
+    const cd a11 = h(hi - 1, hi - 1), a12 = h(hi - 1, hi), a21 = h(hi, hi - 1), a22 = h(hi, hi);
+    const cd d2 = 0.5 * (a11 - a22);
+    const cd qp = a12 * a21;
+    cd mu = a22;
+    if (qp != cd{0} || d2 != cd{0}) {
+      const cd root = std::sqrt(d2 * d2 + qp);
+      const cd denom = (std::abs(d2 + root) >= std::abs(d2 - root)) ? d2 + root : d2 - root;
+      if (denom != cd{0}) mu = a22 - qp / denom;
+    }
+    if (iter_since_deflate % 16 == 0 && iter_since_deflate > 0) {
+      // Exceptional shift to break symmetry-induced stalls (LAPACK-style:
+      // built from the stalled subdiagonal itself).
+      const cd extra = (hi >= 2) ? h(hi - 1, hi - 2) : cd{0};
+      mu = a22 + cd{1.5 * (std::abs(h(hi, hi - 1)) + std::abs(extra)), 0.0};
+    }
+
+    // One explicit shifted QR sweep on the active window lo..hi:
+    //   H - mu I = G_lo^H ... G_{hi-1}^H R,   H <- R G_lo^H ... G_{hi-1}^H + mu I.
+    for (index k = lo; k <= hi; ++k) h(k, k) -= mu;
+
+    std::vector<double> cs(static_cast<std::size_t>(hi - lo));
+    std::vector<cd> sn(static_cast<std::size_t>(hi - lo));
+    // Left factor: zero the subdiagonal, producing R in place.
+    for (index k = lo; k < hi; ++k) {
+      double c;
+      cd s;
+      givens(h(k, k), h(k + 1, k), c, s);
+      cs[static_cast<std::size_t>(k - lo)] = c;
+      sn[static_cast<std::size_t>(k - lo)] = s;
+      for (index j = k; j < h.cols(); ++j) {
+        const cd hkj = h(k, j), hk1j = h(k + 1, j);
+        h(k, j) = c * hkj + s * hk1j;
+        h(k + 1, j) = -std::conj(s) * hkj + c * hk1j;
+      }
+      h(k + 1, k) = cd{0};
+    }
+    // Right factor: H <- R G^H, restoring Hessenberg form; accumulate Q.
+    for (index k = lo; k < hi; ++k) {
+      const double c = cs[static_cast<std::size_t>(k - lo)];
+      const cd s = sn[static_cast<std::size_t>(k - lo)];
+      for (index i = 0; i <= k + 1; ++i) {
+        const cd hik = h(i, k), hik1 = h(i, k + 1);
+        h(i, k) = c * hik + std::conj(s) * hik1;
+        h(i, k + 1) = -s * hik + c * hik1;
+      }
+      for (index i = 0; i < q.rows(); ++i) {
+        const cd qik = q(i, k), qik1 = q(i, k + 1);
+        q(i, k) = c * qik + std::conj(s) * qik1;
+        q(i, k + 1) = -s * qik + c * qik1;
+      }
+    }
+    for (index k = lo; k <= hi; ++k) h(k, k) += mu;
+  }
+  return true;
+}
+
+}  // namespace
+
+SchurResult schur(const MatC& a_in) {
+  PMTBR_REQUIRE(a_in.rows() == a_in.cols(), "schur requires square matrix");
+  const index n = a_in.rows();
+  SchurResult out;
+  if (n == 0) return out;
+  out.t = a_in;
+  if (n == 1) {
+    out.q = MatC::identity(1);
+    return out;
+  }
+  hessenberg(out.t, out.q);
+  PMTBR_ENSURE(qr_iterate(out.t, out.q), "QR iteration failed to converge");
+  // Clean the (numerically zero) subdiagonal part.
+  for (index i = 0; i < n; ++i)
+    for (index j = 0; j < i; ++j) out.t(i, j) = cd{0};
+  return out;
+}
+
+std::vector<cd> eigenvalues(const MatC& a) {
+  const auto sr = schur(a);
+  std::vector<cd> w(static_cast<std::size_t>(a.rows()));
+  for (index i = 0; i < a.rows(); ++i) w[static_cast<std::size_t>(i)] = sr.t(i, i);
+  std::sort(w.begin(), w.end(), [](cd x, cd y) { return std::abs(x) > std::abs(y); });
+  return w;
+}
+
+std::vector<cd> eigenvalues(const MatD& a) { return eigenvalues(to_complex(a)); }
+
+EigResult eig(const MatC& a) {
+  const index n = a.rows();
+  const auto sr = schur(a);
+  const double tnorm = std::max(norm_fro(sr.t), 1e-300);
+  const double eps = std::numeric_limits<double>::epsilon();
+
+  // Right eigenvector of T for eigenvalue T(k,k) via back-substitution, then
+  // rotate back with Q.
+  MatC vecs(n, n);
+  for (index k = 0; k < n; ++k) {
+    std::vector<cd> y(static_cast<std::size_t>(n), cd{0});
+    y[static_cast<std::size_t>(k)] = cd{1};
+    const cd lam = sr.t(k, k);
+    for (index i = k - 1; i >= 0; --i) {
+      cd rhs{};
+      for (index j = i + 1; j <= k; ++j) rhs += sr.t(i, j) * y[static_cast<std::size_t>(j)];
+      cd denom = sr.t(i, i) - lam;
+      if (std::abs(denom) < eps * tnorm) denom = cd{eps * tnorm};
+      y[static_cast<std::size_t>(i)] = -rhs / denom;
+    }
+    // x = Q y, normalized.
+    double nrm2 = 0;
+    for (index j = 0; j <= k; ++j) nrm2 += std::norm(y[static_cast<std::size_t>(j)]);
+    const double inv = 1.0 / std::sqrt(std::max(nrm2, 1e-300));
+    for (index i = 0; i < n; ++i) {
+      cd acc{};
+      for (index j = 0; j <= k; ++j) acc += sr.q(i, j) * y[static_cast<std::size_t>(j)];
+      vecs(i, k) = acc * inv;
+    }
+  }
+
+  // Sort by descending eigenvalue magnitude.
+  std::vector<index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index{0});
+  std::sort(order.begin(), order.end(), [&](index i, index j) {
+    return std::abs(sr.t(i, i)) > std::abs(sr.t(j, j));
+  });
+
+  EigResult out;
+  out.values.resize(static_cast<std::size_t>(n));
+  out.vectors = MatC(n, n);
+  for (index j = 0; j < n; ++j) {
+    const index src = order[static_cast<std::size_t>(j)];
+    out.values[static_cast<std::size_t>(j)] = sr.t(src, src);
+    for (index i = 0; i < n; ++i) out.vectors(i, j) = vecs(i, src);
+  }
+  return out;
+}
+
+EigResult eig(const MatD& a) { return eig(to_complex(a)); }
+
+}  // namespace pmtbr::la

@@ -1,0 +1,42 @@
+// Complex Schur decomposition A = Q T Q^H via Householder Hessenberg
+// reduction followed by shifted QR iteration with deflation.
+//
+// A single-shift *complex* QR iteration handles real nonsymmetric matrices
+// too (the Schur form simply comes out complex), avoiding the considerably
+// trickier real Francis double-shift. Used for pole/stability analysis of
+// reduced models and the compressed cross-Gramian eigenproblem (Sec. V-D).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::la {
+
+struct SchurResult {
+  MatC t;  // upper triangular
+  MatC q;  // unitary, A = Q T Q^H
+};
+
+/// Complex Schur decomposition; throws on QR-iteration non-convergence.
+SchurResult schur(const MatC& a);
+
+/// Eigenvalues of a general complex matrix (diag of the Schur T),
+/// sorted by descending magnitude.
+std::vector<cd> eigenvalues(const MatC& a);
+
+/// Eigenvalues of a general real matrix.
+std::vector<cd> eigenvalues(const MatD& a);
+
+struct EigResult {
+  std::vector<cd> values;  // descending |λ|
+  MatC vectors;            // right eigenvectors as columns (unit norm)
+};
+
+/// Full eigendecomposition of a general (diagonalizable) matrix via Schur +
+/// triangular back-substitution. Near-defective matrices yield vectors that
+/// solve a slightly perturbed problem, as in standard LAPACK practice.
+EigResult eig(const MatC& a);
+EigResult eig(const MatD& a);
+
+}  // namespace pmtbr::la

@@ -1,0 +1,31 @@
+// Singular value decomposition via one-sided Jacobi rotations.
+//
+// One-sided Jacobi is unconditionally convergent and computes small
+// singular values with high relative accuracy — which is exactly what
+// PMTBR's order-control needs, since truncation decisions are made on
+// trailing singular values many orders of magnitude below the leading one.
+//
+// Complex sample matrices are handled upstream by realification
+// (la::realify_columns), which is equivalent to including conjugate
+// sample pairs (paper Algorithm 1, step 5).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::la {
+
+struct SvdResult {
+  MatD u;               // m×k, orthonormal columns
+  std::vector<double> s;  // k singular values, descending
+  MatD v;               // n×k, orthonormal columns; A = U diag(S) V^T
+};
+
+/// Thin SVD of an m×n real matrix (any shape), k = min(m, n).
+SvdResult svd(const MatD& a);
+
+/// Singular values only (still O(mn^2) but skips accumulating V).
+std::vector<double> singular_values(const MatD& a);
+
+}  // namespace pmtbr::la

@@ -1,0 +1,73 @@
+#include "lyap/lyapunov.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "la/ops.hpp"
+
+namespace pmtbr::lyap {
+
+using la::index;
+using la::MatD;
+
+MatD solve_lyapunov(const MatD& a, const MatD& q, const LyapunovOptions& opts) {
+  PMTBR_REQUIRE(a.rows() == a.cols(), "A must be square");
+  PMTBR_REQUIRE(q.rows() == a.rows() && q.cols() == a.cols(), "Q shape mismatch");
+  const index n = a.rows();
+
+  MatD ak = a;
+  MatD qk = q;
+  for (int it = 0; it < opts.max_iterations; ++it) {
+    const la::LuD lu(ak);
+    // Determinant scaling accelerates the sign iteration dramatically for
+    // stiff circuit time constants.
+    const double c = std::exp(-lu.log_abs_det() / static_cast<double>(n));
+    const MatD ainv = lu.inverse();
+
+    // Q_{k+1} = (c Q_k + A^{-1} Q_k A^{-T} / c) / 2.
+    const MatD t = la::matmul(ainv, la::matmul(qk, la::transpose(ainv)));
+    for (index i = 0; i < n; ++i)
+      for (index j = 0; j < n; ++j) qk(i, j) = 0.5 * (c * qk(i, j) + t(i, j) / c);
+
+    // A_{k+1} = (c A_k + A_k^{-1} / c) / 2 and convergence check against -I
+    // (A is Hurwitz, so sign(A) = -I).
+    double delta = 0, scale = 0;
+    for (index i = 0; i < n; ++i)
+      for (index j = 0; j < n; ++j) {
+        const double next = 0.5 * (c * ak(i, j) + ainv(i, j) / c);
+        const double target = (i == j) ? -1.0 : 0.0;
+        delta += (next - target) * (next - target);
+        scale += next * next;
+        ak(i, j) = next;
+      }
+    if (std::sqrt(delta) <= opts.tolerance * std::sqrt(std::max(scale, 1.0))) {
+      MatD x = qk;
+      x *= 0.5;
+      // Symmetrize round-off.
+      for (index i = 0; i < n; ++i)
+        for (index j = i + 1; j < n; ++j) {
+          const double s = 0.5 * (x(i, j) + x(j, i));
+          x(i, j) = s;
+          x(j, i) = s;
+        }
+      return x;
+    }
+  }
+  PMTBR_ENSURE(false, "sign iteration did not converge (is A Hurwitz-stable?)");
+}
+
+MatD controllability_gramian(const MatD& a, const MatD& b, const LyapunovOptions& opts) {
+  return solve_lyapunov(a, la::matmul(b, la::transpose(b)), opts);
+}
+
+MatD observability_gramian(const MatD& a, const MatD& c, const LyapunovOptions& opts) {
+  return solve_lyapunov(la::transpose(a), la::matmul(la::transpose(c), c), opts);
+}
+
+double lyapunov_residual(const MatD& a, const MatD& x, const MatD& q) {
+  const MatD ax = la::matmul(a, x);
+  MatD r = ax + la::transpose(ax) + q;
+  return la::norm_fro(r);
+}
+
+}  // namespace pmtbr::lyap

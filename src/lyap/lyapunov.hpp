@@ -1,0 +1,38 @@
+// Dense Lyapunov solvers via the matrix sign function (Roberts iteration
+// with determinant scaling).
+//
+// Solves A X + X A^T + Q = 0 for stable A using only LU inversions:
+//   A_{k+1} = (c A_k + A_k^{-1}/c) / 2,   Q_{k+1} = (c Q_k + A_k^{-1} Q_k A_k^{-T}/c) / 2,
+// with c = exp(-log|det A_k| / n); at convergence X = Q_inf / 2.
+//
+// This gives the exact-TBR baseline its Gramians without a real-Schur
+// implementation (DESIGN.md decision 1). Cost is O(n^3) per iteration and
+// convergence is quadratic; circuit matrices here converge in 10–25 steps.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::lyap {
+
+struct LyapunovOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-12;  // relative ||A_k + I|| convergence threshold
+};
+
+/// Solves A X + X A^T + Q = 0 (continuous-time controllability form) for
+/// Hurwitz-stable A and symmetric PSD Q. Throws on non-convergence.
+la::MatD solve_lyapunov(const la::MatD& a, const la::MatD& q,
+                        const LyapunovOptions& opts = {});
+
+/// Controllability Gramian: A X + X A^T + B B^T = 0.
+la::MatD controllability_gramian(const la::MatD& a, const la::MatD& b,
+                                 const LyapunovOptions& opts = {});
+
+/// Observability Gramian: A^T Y + Y A + C^T C = 0.
+la::MatD observability_gramian(const la::MatD& a, const la::MatD& c,
+                               const LyapunovOptions& opts = {});
+
+/// Residual ||A X + X A^T + Q||_F — used by tests and diagnostics.
+double lyapunov_residual(const la::MatD& a, const la::MatD& x, const la::MatD& q);
+
+}  // namespace pmtbr::lyap

@@ -1,0 +1,103 @@
+#include "mor/compressor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/ops.hpp"
+#include "la/svd.hpp"
+#include "util/check.hpp"
+
+namespace pmtbr::mor {
+
+IncrementalCompressor::IncrementalCompressor(index n, double drop_tol)
+    : n_(n), drop_tol_(drop_tol) {
+  PMTBR_REQUIRE(n >= 1, "state dimension must be positive");
+  PMTBR_REQUIRE(drop_tol > 0 && drop_tol < 1, "drop_tol must be in (0, 1)");
+}
+
+void IncrementalCompressor::add_columns(const MatD& block) {
+  PMTBR_REQUIRE(block.rows() == n_, "block row mismatch");
+  for (index j = 0; j < block.cols(); ++j) add_column(block.col(j));
+}
+
+void IncrementalCompressor::add_column(std::vector<double> v) {
+  const double vnorm = la::norm2(v);
+  std::vector<double> h;
+  h.reserve(q_cols_.size() + 1);
+
+  // Two passes of modified Gram–Schmidt for numerical orthogonality.
+  std::vector<double> coeffs(q_cols_.size(), 0.0);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t k = 0; k < q_cols_.size(); ++k) {
+      const auto& qk = q_cols_[k];
+      double d = 0;
+      for (index i = 0; i < n_; ++i)
+        d += qk[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+      coeffs[k] += d;
+      for (index i = 0; i < n_; ++i)
+        v[static_cast<std::size_t>(i)] -= d * qk[static_cast<std::size_t>(i)];
+    }
+  }
+  h.assign(coeffs.begin(), coeffs.end());
+
+  const double beta = la::norm2(v);
+  if (beta > drop_tol_ * std::max(vnorm, 1e-300) && rank() < n_) {
+    for (auto& x : v) x /= beta;
+    q_cols_.push_back(std::move(v));
+    h.push_back(beta);
+  }
+  r_cols_.push_back(std::move(h));
+  ++m_;
+}
+
+MatD IncrementalCompressor::r_dense() const {
+  const index k = rank();
+  MatD r(std::max<index>(k, 1), std::max<index>(m_, 1));
+  for (index j = 0; j < m_; ++j) {
+    const auto& col = r_cols_[static_cast<std::size_t>(j)];
+    for (std::size_t i = 0; i < col.size(); ++i) r(static_cast<index>(i), j) = col[i];
+  }
+  return r;
+}
+
+std::vector<double> IncrementalCompressor::singular_values() const {
+  if (m_ == 0 || rank() == 0) return {};
+  auto s = la::singular_values(r_dense());
+  s.resize(static_cast<std::size_t>(std::min<index>(rank(), m_)));
+  return s;
+}
+
+MatD IncrementalCompressor::basis(index order) const {
+  PMTBR_REQUIRE(order >= 1, "order must be positive");
+  PMTBR_ENSURE(rank() > 0, "no columns absorbed");
+  const index k = rank();
+  const index q = std::min(order, std::min<index>(k, m_));
+  const auto f = la::svd(r_dense());  // R = U S V^T; left vectors rotate Q
+  MatD out(n_, q);
+  for (index j = 0; j < q; ++j)
+    for (index i = 0; i < n_; ++i) {
+      double acc = 0;
+      for (index l = 0; l < k; ++l)
+        acc += q_cols_[static_cast<std::size_t>(l)][static_cast<std::size_t>(i)] * f.u(l, j);
+      out(i, j) = acc;
+    }
+  return out;
+}
+
+index IncrementalCompressor::order_for_tolerance(double tol) const {
+  const auto s = singular_values();
+  if (s.empty()) return 0;
+  const double s1 = s.front();
+  if (s1 <= 0) return 1;
+  double tail = 0;
+  for (double x : s) tail += x;
+  index q = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (tail <= tol * s1) break;
+    tail -= s[i];
+    ++q;
+  }
+  return std::max<index>(q, 1);
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,57 @@
+// Incremental sample-matrix compressor for on-the-fly order control
+// (paper Sec. V-C).
+//
+// Maintains a growing factorization  Z_(i) W = Q R  with Q orthonormal
+// (modified Gram–Schmidt with reorthogonalization) so that absorbing a new
+// sample block costs O(n·k) instead of a fresh SVD of everything, and the
+// singular values of Z_(i) W are recovered from the small k×m matrix R.
+// This plays the role the paper assigns to updatable rank-revealing
+// factorizations (RRQR/UTV): cheap trailing-singular-value estimates after
+// every sample, plus an orthonormal basis for the dominant subspace.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::mor {
+
+using la::index;
+using la::MatD;
+
+class IncrementalCompressor {
+ public:
+  /// `n` is the state dimension; `drop_tol` is the relative norm below which
+  /// a new column adds no new direction to Q.
+  explicit IncrementalCompressor(index n, double drop_tol = 1e-13);
+
+  /// Absorbs the columns of `block` (already weight-scaled by the caller).
+  void add_columns(const MatD& block);
+
+  index n() const { return n_; }
+  index rank() const { return static_cast<index>(q_cols_.size()); }
+  index columns_absorbed() const { return m_; }
+
+  /// Singular values of the absorbed matrix, descending (length = rank()).
+  std::vector<double> singular_values() const;
+
+  /// Orthonormal basis for the dominant `order`-dimensional left singular
+  /// subspace (order clamped to rank()).
+  MatD basis(index order) const;
+
+  /// Smallest order q whose trailing singular-value sum satisfies
+  /// sum_{i>q} σ_i <= tol * σ_1 — the paper's "small tail" criterion.
+  index order_for_tolerance(double tol) const;
+
+ private:
+  void add_column(std::vector<double> v);
+  MatD r_dense() const;
+
+  index n_;
+  double drop_tol_;
+  index m_ = 0;                                  // columns absorbed
+  std::vector<std::vector<double>> q_cols_;      // orthonormal basis columns (length n)
+  std::vector<std::vector<double>> r_cols_;      // R columns (length = rank at insertion)
+};
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,34 @@
+// Cross-Gramian PMTBR (paper Sec. V-D): two-sided sampled reduction for
+// nonsymmetric systems using one matrix instead of two Gramians.
+//
+// Controllability-side samples z^R = (sE - A)^{-1} B and observability-side
+// samples z^L = (sE - A)^{-T} C^T are compressed into a joint orthonormal
+// basis Q; the n×n eigenproblem of Z^L (Z^R)^T collapses to the small
+// problem R^R (R^L)^T y = λ y with Z^R = Q R^R, Z^L = Q R^L exactly as the
+// paper proposes. Projection uses the dominant right/left eigenvectors.
+#pragma once
+
+#include "mor/sampling.hpp"
+#include "mor/state_space.hpp"
+
+namespace pmtbr::mor {
+
+struct CrossGramianOptions {
+  std::vector<Band> bands{Band{}};
+  index num_samples = 30;
+  SamplingScheme scheme = SamplingScheme::kUniform;
+
+  index fixed_order = -1;
+  double truncation_tol = 1e-8;  // on |λ| tail of the compressed spectrum
+  index max_order = -1;
+};
+
+struct CrossGramianResult {
+  ReducedModel model;
+  std::vector<la::cd> eigenvalue_estimates;  // of the sampled cross-Gramian
+};
+
+CrossGramianResult cross_gramian_pmtbr(const DescriptorSystem& sys,
+                                       const CrossGramianOptions& opts = {});
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,86 @@
+#include "mor/error.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "la/ops.hpp"
+
+namespace pmtbr::mor {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+std::vector<double> linspace_grid(double f_lo, double f_hi, index count) {
+  PMTBR_REQUIRE(count >= 2 && f_hi > f_lo, "bad grid spec");
+  std::vector<double> g(static_cast<std::size_t>(count));
+  for (index k = 0; k < count; ++k)
+    g[static_cast<std::size_t>(k)] =
+        f_lo + (f_hi - f_lo) * static_cast<double>(k) / static_cast<double>(count - 1);
+  return g;
+}
+
+std::vector<double> logspace_grid(double f_lo, double f_hi, index count) {
+  PMTBR_REQUIRE(count >= 2 && f_hi > f_lo && f_lo > 0, "bad log grid spec");
+  std::vector<double> g(static_cast<std::size_t>(count));
+  const double l0 = std::log(f_lo), l1 = std::log(f_hi);
+  for (index k = 0; k < count; ++k)
+    g[static_cast<std::size_t>(k)] =
+        std::exp(l0 + (l1 - l0) * static_cast<double>(k) / static_cast<double>(count - 1));
+  return g;
+}
+
+std::vector<MatC> transfer_series(const DescriptorSystem& sys, const std::vector<double>& freqs) {
+  std::vector<MatC> out;
+  out.reserve(freqs.size());
+  for (const double f : freqs) out.push_back(sys.transfer(cd(0.0, kTwoPi * f)));
+  return out;
+}
+
+std::vector<MatC> transfer_series(const DenseSystem& sys, const std::vector<double>& freqs) {
+  std::vector<MatC> out;
+  out.reserve(freqs.size());
+  for (const double f : freqs) out.push_back(sys.transfer(cd(0.0, kTwoPi * f)));
+  return out;
+}
+
+ErrorStats compare_on_grid(const DescriptorSystem& full, const DenseSystem& reduced,
+                           const std::vector<double>& freqs) {
+  PMTBR_REQUIRE(!freqs.empty(), "empty frequency grid");
+  PMTBR_REQUIRE(full.num_inputs() == reduced.num_inputs() &&
+                    full.num_outputs() == reduced.num_outputs(),
+                "port mismatch between full and reduced models");
+  ErrorStats st;
+  double sum_sq = 0;
+  for (const double f : freqs) {
+    const cd s(0.0, kTwoPi * f);
+    const MatC hf = full.transfer(s);
+    const MatC hr = reduced.transfer(s);
+    MatC diff = hf;
+    diff -= hr;
+    const double err = la::norm_fro(diff);
+    const double ref = la::norm_fro(hf);
+    st.max_abs = std::max(st.max_abs, err);
+    st.h_inf_scale = std::max(st.h_inf_scale, ref);
+    if (ref > 0) st.max_rel = std::max(st.max_rel, err / ref);
+    sum_sq += err * err;
+  }
+  st.rms_abs = std::sqrt(sum_sq / static_cast<double>(freqs.size()));
+  return st;
+}
+
+std::vector<double> entry_error_series(const DescriptorSystem& full, const DenseSystem& reduced,
+                                       const std::vector<double>& freqs, index out_idx,
+                                       index in_idx, bool real_part_only) {
+  std::vector<double> out;
+  out.reserve(freqs.size());
+  for (const double f : freqs) {
+    const cd s(0.0, kTwoPi * f);
+    const cd hf = full.transfer(s)(out_idx, in_idx);
+    const cd hr = reduced.transfer(s)(out_idx, in_idx);
+    out.push_back(real_part_only ? std::abs(hf.real() - hr.real()) : std::abs(hf - hr));
+  }
+  return out;
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,37 @@
+// Frequency-domain error metrics between a full descriptor system and a
+// reduced dense model, evaluated over a frequency grid — the measurement
+// layer behind every accuracy figure in the paper.
+#pragma once
+
+#include <vector>
+
+#include "mor/state_space.hpp"
+
+namespace pmtbr::mor {
+
+/// Evaluation grid in Hz.
+std::vector<double> linspace_grid(double f_lo, double f_hi, index count);
+std::vector<double> logspace_grid(double f_lo, double f_hi, index count);
+
+/// H(s) at each grid frequency (s = j2πf).
+std::vector<MatC> transfer_series(const DescriptorSystem& sys, const std::vector<double>& freqs);
+std::vector<MatC> transfer_series(const DenseSystem& sys, const std::vector<double>& freqs);
+
+struct ErrorStats {
+  double max_abs = 0.0;   // max over grid of ||H_full - H_red||_F
+  double max_rel = 0.0;   // max over grid of ||ΔH||_F / ||H_full||_F
+  double rms_abs = 0.0;
+  double h_inf_scale = 0.0;  // max over grid of ||H_full||_F (for normalizing)
+};
+
+ErrorStats compare_on_grid(const DescriptorSystem& full, const DenseSystem& reduced,
+                           const std::vector<double>& freqs);
+
+/// Error of a single transfer-function entry (out_idx, in_idx), as used by
+/// the spiral-inductor resistance comparison (Fig. 7): value evaluated is
+/// Re or |·| of the entry per `real_part_only`.
+std::vector<double> entry_error_series(const DescriptorSystem& full, const DenseSystem& reduced,
+                                       const std::vector<double>& freqs, index out_idx,
+                                       index in_idx, bool real_part_only);
+
+}  // namespace pmtbr::mor

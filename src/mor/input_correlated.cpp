@@ -1,0 +1,80 @@
+#include "mor/input_correlated.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "la/ops.hpp"
+#include "la/svd.hpp"
+#include "mor/compressor.hpp"
+#include "util/rng.hpp"
+
+namespace pmtbr::mor {
+
+InputCorrelatedResult input_correlated_tbr(const DescriptorSystem& sys, const MatD& input_samples,
+                                           const InputCorrelatedOptions& opts) {
+  PMTBR_REQUIRE(input_samples.rows() == sys.num_inputs(),
+                "input sample rows must equal the port count");
+  PMTBR_REQUIRE(input_samples.cols() >= 1, "need at least one input sample");
+
+  // Step 1: SVD of the waveform sample matrix; K = U U^T / N = V_K (S_K^2/N) V_K^T.
+  const la::SvdResult f = la::svd(input_samples);
+  const double nsamp = static_cast<double>(input_samples.cols());
+
+  InputCorrelatedResult out;
+  out.input_singular_values = f.s;
+  index r = 0;
+  const double s1 = f.s.empty() ? 0.0 : f.s.front();
+  for (const double s : f.s)
+    if (s > opts.input_rank_tol * s1) ++r;
+  r = std::max<index>(r, 1);
+  out.input_rank = r;
+
+  // Scaled direction matrix D = V_K diag(S_K)/sqrt(N): E[D g (D g)^T] = K.
+  MatD dir(input_samples.rows(), r);
+  for (index j = 0; j < r; ++j) {
+    const double scale = f.s[static_cast<std::size_t>(j)] / std::sqrt(nsamp);
+    for (index i = 0; i < input_samples.rows(); ++i) dir(i, j) = f.u(i, j) * scale;
+  }
+  const MatD bdir = la::matmul(sys.b(), dir);  // n×r
+
+  const auto freq = sample_bands(opts.bands, opts.num_freq_samples, opts.scheme);
+  IncrementalCompressor comp(sys.n());
+  Rng rng(opts.seed);
+
+  for (const auto& fs : freq) {
+    // Conjugate-pair weighting as in pmtbr.cpp: jω samples count twice.
+    const double scale = std::abs(fs.s.imag()) == 0.0
+                             ? std::sqrt(fs.weight / (2.0 * std::numbers::pi))
+                             : std::sqrt(fs.weight / std::numbers::pi);
+    la::MatC rhs;
+    if (opts.draws_per_frequency > 0) {
+      // Algorithm 3: random draws r ~ N(0, I) in the scaled direction space.
+      MatD draws(r, opts.draws_per_frequency);
+      for (index j = 0; j < opts.draws_per_frequency; ++j)
+        for (index i = 0; i < r; ++i) draws(i, j) = rng.normal();
+      rhs = la::to_complex(la::matmul(bdir, draws));
+    } else {
+      // Deterministic blocked variant: all scaled directions at once.
+      rhs = la::to_complex(bdir);
+    }
+    const la::MatC z = sys.solve_shifted(fs.s, rhs);
+    MatD block = (std::abs(fs.s.imag()) == 0.0) ? la::real_part(z) : la::realify_columns(z);
+    block *= scale;
+    comp.add_columns(block);
+  }
+
+  index order = opts.fixed_order > 0 ? std::min<index>(opts.fixed_order, comp.rank())
+                                     : comp.order_for_tolerance(opts.truncation_tol);
+  if (opts.max_order > 0) order = std::min(order, opts.max_order);
+  order = std::max<index>(order, 1);
+
+  const MatD v = comp.basis(order);
+  out.model.v = v;
+  out.model.w = v;
+  out.model.system = project_congruence(sys, v);
+  out.model.singular_values = comp.singular_values();
+  for (const double s : out.model.singular_values) out.hankel_estimates.push_back(s * s);
+  return out;
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,50 @@
+#include "mor/mpproj.hpp"
+
+#include "la/ops.hpp"
+
+namespace pmtbr::mor {
+
+MpprojResult mpproj(const DescriptorSystem& sys, const std::vector<FrequencySample>& samples,
+                    const MpprojOptions& opts) {
+  PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
+  const index n = sys.n();
+  std::vector<std::vector<double>> basis;
+
+  for (const auto& fs : samples) {
+    if (opts.max_order > 0 && static_cast<index>(basis.size()) >= opts.max_order) break;
+    const la::MatC z = sys.solve_shifted(fs.s, la::to_complex(sys.b()));
+    const MatD block =
+        (std::abs(fs.s.imag()) == 0.0) ? la::real_part(z) : la::realify_columns(z);
+    for (index j = 0; j < block.cols(); ++j) {
+      if (opts.max_order > 0 && static_cast<index>(basis.size()) >= opts.max_order) break;
+      auto v = block.col(j);
+      const double vnorm = la::norm2(v);
+      if (vnorm == 0) continue;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const auto& q : basis) {
+          double d = 0;
+          for (index i = 0; i < n; ++i)
+            d += q[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+          for (index i = 0; i < n; ++i)
+            v[static_cast<std::size_t>(i)] -= d * q[static_cast<std::size_t>(i)];
+        }
+      }
+      const double beta = la::norm2(v);
+      if (beta <= opts.deflation_tol * vnorm) continue;
+      for (auto& x : v) x /= beta;
+      basis.push_back(std::move(v));
+    }
+  }
+
+  PMTBR_ENSURE(!basis.empty(), "mpproj produced an empty basis");
+  MatD v(n, static_cast<index>(basis.size()));
+  for (index j = 0; j < v.cols(); ++j) v.set_col(j, basis[static_cast<std::size_t>(j)]);
+
+  MpprojResult out;
+  out.model.v = v;
+  out.model.w = v;
+  out.model.system = project_congruence(sys, v);
+  return out;
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,191 @@
+#include "mor/pmtbr.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "la/ops.hpp"
+#include "mor/compressor.hpp"
+#include "util/logging.hpp"
+
+namespace pmtbr::mor {
+
+namespace {
+
+// Weighted, realified sample block for one frequency point.
+MatD sample_block(const DescriptorSystem& sys, const FrequencySample& fs) {
+  const la::MatC z = sys.solve_shifted(fs.s, la::to_complex(sys.b()));
+  // Fold in the Parseval 1/(2π) so ZW^2Z^H approximates the true Gramian.
+  // A sample at +jω implicitly carries its conjugate pair at -jω (the
+  // realified columns span both), so it gets twice the weight.
+  if (std::abs(fs.s.imag()) == 0.0) {
+    MatD block = la::real_part(z);
+    block *= std::sqrt(fs.weight / (2.0 * std::numbers::pi));
+    return block;
+  }
+  MatD block = la::realify_columns(z);
+  block *= std::sqrt(fs.weight / std::numbers::pi);
+  return block;
+}
+
+index choose_order(const IncrementalCompressor& comp, const PmtbrOptions& opts) {
+  index order = opts.fixed_order > 0 ? std::min<index>(opts.fixed_order, comp.rank())
+                                     : comp.order_for_tolerance(opts.truncation_tol);
+  if (opts.max_order > 0) order = std::min(order, opts.max_order);
+  return std::max<index>(order, 1);
+}
+
+}  // namespace
+
+PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
+                               const std::vector<FrequencySample>& samples,
+                               const PmtbrOptions& opts) {
+  PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
+  IncrementalCompressor comp(sys.n());
+  PmtbrResult out;
+
+  for (std::size_t k = 0; k < samples.size(); ++k) {
+    FrequencySample fs = samples[k];
+    if (opts.weight_fn) {
+      const double f_hz = fs.s.imag() / (2.0 * std::numbers::pi);
+      const double w = opts.weight_fn(f_hz);
+      PMTBR_REQUIRE(w >= 0.0, "frequency weighting must be nonnegative");
+      fs.weight *= w;
+      if (fs.weight == 0.0) continue;  // fully suppressed sample
+    }
+    comp.add_columns(sample_block(sys, fs));
+    out.samples_used.push_back(fs);
+
+    if (opts.adaptive_excess > 0 &&
+        static_cast<index>(out.samples_used.size()) >= opts.min_samples) {
+      // Stop when the sample count comfortably exceeds the order estimate
+      // (the paper's "samples in excess of the model order" criterion).
+      const index est = comp.order_for_tolerance(opts.truncation_tol);
+      if (static_cast<double>(out.samples_used.size()) >=
+          opts.adaptive_excess * static_cast<double>(est)) {
+        log_debug("pmtbr: adaptive stop after ", out.samples_used.size(), " samples (order ~",
+                  est, ")");
+        break;
+      }
+    }
+  }
+
+  const index order = choose_order(comp, opts);
+  MatD v = comp.basis(order);
+
+  out.model.v = v;
+  out.model.w = v;
+  out.model.system = project_congruence(sys, v);
+  out.model.singular_values = comp.singular_values();
+  out.hankel_estimates.reserve(out.model.singular_values.size());
+  for (const double s : out.model.singular_values)
+    out.hankel_estimates.push_back(s * s);
+  return out;
+}
+
+PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& aopts,
+                           const PmtbrOptions& opts) {
+  PMTBR_REQUIRE(aopts.initial_samples >= 2, "need at least two initial samples");
+  PMTBR_REQUIRE(aopts.max_samples >= aopts.initial_samples, "budget below initial samples");
+
+  IncrementalCompressor comp(sys.n());
+  PmtbrResult out;
+
+  // Novelty of a sample: residual norm of its block after projection onto
+  // the current basis, measured through the compressor's rank growth and
+  // column norms. We compute it directly: absorb, then compare.
+  struct Interval {
+    double f_lo, f_hi;
+    double score;  // novelty of the sample that created it
+  };
+  std::vector<Interval> intervals;
+  double max_block_norm = 0.0;
+
+  const auto absorb = [&](double f_hz, double width_hz) {
+    FrequencySample fs{cd(0.0, 2.0 * std::numbers::pi * f_hz), 2.0 * std::numbers::pi * width_hz};
+    MatD block = sample_block(sys, fs);
+    const double bnorm = la::norm_fro(block);
+    max_block_norm = std::max(max_block_norm, bnorm);
+    // Residual after projection onto the current basis = novelty.
+    double res = bnorm;
+    if (comp.rank() > 0) {
+      const MatD q = comp.basis(comp.rank());
+      const MatD proj = la::matmul(q, la::matmul(la::transpose(q), block));
+      MatD r = block;
+      r -= proj;
+      res = la::norm_fro(r);
+    }
+    comp.add_columns(block);
+    out.samples_used.push_back(fs);
+    return res;
+  };
+
+  // Coarse initialization (uniform midpoints).
+  const double width =
+      (aopts.band.f_hi - aopts.band.f_lo) / static_cast<double>(aopts.initial_samples);
+  double prev_edge = aopts.band.f_lo;
+  for (index k = 0; k < aopts.initial_samples; ++k) {
+    const double f = aopts.band.f_lo + (static_cast<double>(k) + 0.5) * width;
+    const double res = absorb(f, width);
+    intervals.push_back({prev_edge, prev_edge + width, res});
+    prev_edge += width;
+  }
+
+  // Greedy bisection.
+  while (static_cast<index>(out.samples_used.size()) < aopts.max_samples) {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < intervals.size(); ++i)
+      if (intervals[i].score > intervals[best].score) best = i;
+    if (intervals[best].score <= aopts.novelty_tol * std::max(max_block_norm, 1e-300)) break;
+
+    const Interval iv = intervals[best];
+    const double mid = 0.5 * (iv.f_lo + iv.f_hi);
+    const double child_w = 0.5 * (iv.f_hi - iv.f_lo);
+    const double res = absorb(0.5 * (iv.f_lo + mid), child_w);
+    const double res2 = absorb(0.5 * (mid + iv.f_hi), child_w);
+    intervals[best] = {iv.f_lo, mid, res};
+    intervals.push_back({mid, iv.f_hi, res2});
+    log_debug("pmtbr_adaptive: bisected [", iv.f_lo, ", ", iv.f_hi, "], residuals ", res, ", ",
+              res2);
+  }
+
+  const index order = choose_order(comp, opts);
+  MatD v = comp.basis(order);
+  out.model.v = v;
+  out.model.w = v;
+  out.model.system = project_congruence(sys, v);
+  out.model.singular_values = comp.singular_values();
+  for (const double s : out.model.singular_values) out.hankel_estimates.push_back(s * s);
+  return out;
+}
+
+std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
+                                           const std::vector<FrequencySample>& samples,
+                                           const std::vector<index>& orders) {
+  PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
+  PMTBR_REQUIRE(!orders.empty(), "need at least one order");
+  IncrementalCompressor comp(sys.n());
+  for (const auto& fs : samples) comp.add_columns(sample_block(sys, fs));
+
+  std::vector<PmtbrResult> out;
+  out.reserve(orders.size());
+  for (const index order : orders) {
+    PmtbrResult res;
+    res.samples_used = samples;
+    const index q = std::max<index>(1, std::min<index>(order, comp.rank()));
+    MatD v = comp.basis(q);
+    res.model.v = v;
+    res.model.w = v;
+    res.model.system = project_congruence(sys, v);
+    res.model.singular_values = comp.singular_values();
+    for (const double s : res.model.singular_values) res.hankel_estimates.push_back(s * s);
+    out.push_back(std::move(res));
+  }
+  return out;
+}
+
+PmtbrResult pmtbr(const DescriptorSystem& sys, const PmtbrOptions& opts) {
+  const auto samples = sample_bands(opts.bands, opts.num_samples, opts.scheme);
+  return pmtbr_with_samples(sys, samples, opts);
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,95 @@
+// PMTBR — Poor Man's TBR (paper Algorithm 1) and its frequency-selective
+// variant (Algorithm 2).
+//
+// Samples z_k = (s_k E - A)^{-1} B at quadrature points on the imaginary
+// axis, accumulates the weighted sample matrix Z W, and projects onto its
+// dominant left singular subspace. The singular values of Z W estimate the
+// square roots of the Hankel singular values (X_hat = Z W^2 Z^H), and drive
+// both order control and error estimation.
+//
+// Complex samples are realified ([Re z | Im z]), which is exactly
+// equivalent to including the conjugate sample pair as Algorithm 1 does.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mor/sampling.hpp"
+#include "mor/state_space.hpp"
+
+namespace pmtbr::mor {
+
+struct PmtbrOptions {
+  /// Frequency band(s) of interest. One band = plain PMTBR over a finite
+  /// bandwidth; several bands = frequency-selective TBR (Algorithm 2).
+  std::vector<Band> bands{Band{}};
+  index num_samples = 30;
+  SamplingScheme scheme = SamplingScheme::kUniform;
+
+  /// Order selection: if fixed_order > 0 it wins; otherwise the smallest
+  /// order whose trailing singular-value sum is below truncation_tol * σ1.
+  index fixed_order = -1;
+  double truncation_tol = 1e-8;
+  index max_order = -1;  // optional cap (< 0: none)
+
+  /// Adaptive sampling (on-the-fly order control, Sec. V-C): stop adding
+  /// samples once the sample count exceeds `adaptive_excess` times the
+  /// order estimate. 0 disables adaptation (all samples used).
+  double adaptive_excess = 0.0;
+  index min_samples = 4;
+
+  /// Optional frequency weighting w(f) (paper Eq. 18): multiplies each
+  /// sample's quadrature weight, biasing the Gramian — and hence the
+  /// retained directions — toward frequencies where w is large. The
+  /// identity weighting reproduces the finite-bandwidth Gramian.
+  std::function<double(double f_hz)> weight_fn;
+};
+
+struct PmtbrResult {
+  ReducedModel model;
+  std::vector<FrequencySample> samples_used;
+  /// Estimated Hankel singular values: squares of the ZW singular values
+  /// (with the 1/2π Parseval factor folded into the weights).
+  std::vector<double> hankel_estimates;
+};
+
+/// PMTBR with automatically generated samples per `opts`.
+PmtbrResult pmtbr(const DescriptorSystem& sys, const PmtbrOptions& opts = {});
+
+/// PMTBR on caller-provided samples (points anywhere in the closed right
+/// half-plane; weights as in Eq. 10).
+PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
+                               const std::vector<FrequencySample>& samples,
+                               const PmtbrOptions& opts = {});
+
+/// Adaptive bisection sampling (paper Sec. V-B): starts from a coarse
+/// uniform grid on the band and repeatedly bisects the interval whose
+/// midpoint sample contributes the largest new direction (residual after
+/// projection onto the current basis), until the residual falls below
+/// `novelty_tol` (relative to the largest sample norm seen) or the budget
+/// is exhausted. Weights follow the local sampling density.
+struct AdaptiveOptions {
+  Band band{};
+  index initial_samples = 4;
+  index max_samples = 64;
+  double novelty_tol = 1e-7;
+};
+PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& aopts,
+                           const PmtbrOptions& opts = {});
+
+/// Order sweep sharing one sampling + compression pass: returns one result
+/// per requested order (clamped to the available rank). Far cheaper than
+/// calling pmtbr_with_samples per order in benches and studies.
+std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
+                                           const std::vector<FrequencySample>& samples,
+                                           const std::vector<index>& orders);
+
+/// Convenience alias emphasizing Algorithm 2 usage.
+inline PmtbrResult pmtbr_frequency_selective(const DescriptorSystem& sys,
+                                             const std::vector<Band>& bands,
+                                             PmtbrOptions opts = {}) {
+  opts.bands = bands;
+  return pmtbr(sys, opts);
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,82 @@
+#include "mor/prima.hpp"
+
+#include <cmath>
+
+#include "la/ops.hpp"
+#include "sparse/splu.hpp"
+#include "util/logging.hpp"
+
+namespace pmtbr::mor {
+
+PrimaResult prima(const DescriptorSystem& sys, const PrimaOptions& opts) {
+  PMTBR_REQUIRE(opts.num_moments >= 1, "need at least one block moment");
+  const index n = sys.n();
+  const index p = sys.num_inputs();
+
+  // Factor (s0 E - A) once; the Krylov operator is (s0 E - A)^{-1} E.
+  const sparse::CsrD pencil = [&] {
+    if (opts.s0 == 0.0) {
+      sparse::CsrD neg_a = sys.a();
+      for (auto& v : neg_a.values()) v = -v;
+      return neg_a;
+    }
+    return sparse::combine(opts.s0, sys.e(), -1.0, sys.a());
+  }();
+  const sparse::SparseLuD lu(pencil, sys.ordering());
+
+  // Block Arnoldi with modified Gram–Schmidt and deflation.
+  std::vector<std::vector<double>> basis;  // orthonormal columns
+  MatD block = lu.solve(sys.b());          // R0 = (s0 E - A)^{-1} B
+
+  for (index moment = 0; moment < opts.num_moments; ++moment) {
+    std::vector<std::vector<double>> accepted;
+    for (index j = 0; j < block.cols(); ++j) {
+      auto v = block.col(j);
+      const double vnorm = la::norm2(v);
+      if (vnorm == 0) continue;
+      for (int pass = 0; pass < 2; ++pass) {
+        for (const auto& q : basis) {
+          double d = 0;
+          for (index i = 0; i < n; ++i)
+            d += q[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+          for (index i = 0; i < n; ++i)
+            v[static_cast<std::size_t>(i)] -= d * q[static_cast<std::size_t>(i)];
+        }
+        for (const auto& q : accepted) {
+          double d = 0;
+          for (index i = 0; i < n; ++i)
+            d += q[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
+          for (index i = 0; i < n; ++i)
+            v[static_cast<std::size_t>(i)] -= d * q[static_cast<std::size_t>(i)];
+        }
+      }
+      const double beta = la::norm2(v);
+      if (beta <= opts.deflation_tol * vnorm) continue;  // deflated direction
+      for (auto& x : v) x /= beta;
+      accepted.push_back(std::move(v));
+    }
+    if (moment + 1 < opts.num_moments) {
+      // Next block: (s0 E - A)^{-1} E * (current accepted block). Build it
+      // before the accepted vectors are moved into the basis.
+      if (accepted.empty()) break;  // fully deflated: Krylov space exhausted
+      MatD cur(n, static_cast<index>(accepted.size()));
+      for (index j = 0; j < cur.cols(); ++j)
+        cur.set_col(j, accepted[static_cast<std::size_t>(j)]);
+      block = lu.solve(sparse_times_dense(sys.e(), cur));
+    }
+    for (auto& q : accepted) basis.push_back(std::move(q));
+  }
+
+  PMTBR_ENSURE(!basis.empty(), "PRIMA produced an empty basis");
+  MatD v(n, static_cast<index>(basis.size()));
+  for (index j = 0; j < v.cols(); ++j) v.set_col(j, basis[static_cast<std::size_t>(j)]);
+  log_debug("prima: basis size ", v.cols(), " (", opts.num_moments, " moments x ", p, " ports)");
+
+  PrimaResult out;
+  out.model.v = v;
+  out.model.w = v;
+  out.model.system = project_congruence(sys, v);
+  return out;
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,114 @@
+#include "mor/sampling.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+
+namespace pmtbr::mor {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+}
+
+void gauss_legendre(index n, std::vector<double>& nodes, std::vector<double>& weights) {
+  PMTBR_REQUIRE(n >= 1, "need at least one node");
+  nodes.resize(static_cast<std::size_t>(n));
+  weights.resize(static_cast<std::size_t>(n));
+  for (index i = 0; i < n; ++i) {
+    // Chebyshev-based initial guess, then Newton on P_n.
+    double x = std::cos(std::numbers::pi * (static_cast<double>(i) + 0.75) /
+                        (static_cast<double>(n) + 0.5));
+    double dp = 0;
+    for (int it = 0; it < 100; ++it) {
+      // Evaluate P_n(x) and P_n'(x) by recurrence.
+      double p0 = 1.0, p1 = x;
+      for (index k = 2; k <= n; ++k) {
+        const double pk = ((2.0 * static_cast<double>(k) - 1.0) * x * p1 -
+                           (static_cast<double>(k) - 1.0) * p0) /
+                          static_cast<double>(k);
+        p0 = p1;
+        p1 = pk;
+      }
+      const double pn = (n == 1) ? x : p1;
+      const double pn1 = (n == 1) ? 1.0 : p0;
+      dp = static_cast<double>(n) * (x * pn - pn1) / (x * x - 1.0);
+      const double dx = pn / dp;
+      x -= dx;
+      if (std::abs(dx) < 1e-15) break;
+    }
+    nodes[static_cast<std::size_t>(i)] = x;
+    weights[static_cast<std::size_t>(i)] = 2.0 / ((1.0 - x * x) * dp * dp);
+  }
+}
+
+std::vector<FrequencySample> sample_band(const Band& band, index count, SamplingScheme scheme) {
+  PMTBR_REQUIRE(count >= 1, "need at least one sample");
+  PMTBR_REQUIRE(band.f_hi > band.f_lo && band.f_lo >= 0, "band must satisfy 0 <= f_lo < f_hi");
+  std::vector<FrequencySample> out;
+  out.reserve(static_cast<std::size_t>(count));
+
+  switch (scheme) {
+    case SamplingScheme::kUniform: {
+      // Rectangle rule: midpoint samples, equal weights spanning the band.
+      const double df = (band.f_hi - band.f_lo) / static_cast<double>(count);
+      for (index k = 0; k < count; ++k) {
+        const double f = band.f_lo + (static_cast<double>(k) + 0.5) * df;
+        out.push_back({cd(0.0, kTwoPi * f), kTwoPi * df});
+      }
+      break;
+    }
+    case SamplingScheme::kLogarithmic: {
+      const double f_lo = std::max(band.f_lo, band.f_hi * 1e-6);
+      const double l0 = std::log(f_lo), l1 = std::log(band.f_hi);
+      const double dl = (l1 - l0) / static_cast<double>(count);
+      for (index k = 0; k < count; ++k) {
+        const double lf = l0 + (static_cast<double>(k) + 0.5) * dl;
+        const double f = std::exp(lf);
+        // d omega = 2*pi*f d(log f): weight by the local bin width.
+        out.push_back({cd(0.0, kTwoPi * f), kTwoPi * f * dl});
+      }
+      break;
+    }
+    case SamplingScheme::kGaussLegendre: {
+      std::vector<double> x, w;
+      gauss_legendre(count, x, w);
+      const double half = 0.5 * (band.f_hi - band.f_lo);
+      const double mid = 0.5 * (band.f_hi + band.f_lo);
+      for (index k = 0; k < count; ++k) {
+        const double f = mid + half * x[static_cast<std::size_t>(k)];
+        out.push_back({cd(0.0, kTwoPi * f), kTwoPi * half * w[static_cast<std::size_t>(k)]});
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<FrequencySample> sample_bands(const std::vector<Band>& bands, index count,
+                                          SamplingScheme scheme) {
+  PMTBR_REQUIRE(!bands.empty(), "need at least one band");
+  PMTBR_REQUIRE(count >= static_cast<index>(bands.size()), "need at least one sample per band");
+  double total = 0;
+  for (const auto& b : bands) total += b.f_hi - b.f_lo;
+
+  std::vector<FrequencySample> out;
+  index assigned = 0;
+  for (std::size_t k = 0; k < bands.size(); ++k) {
+    index nk;
+    if (k + 1 == bands.size()) {
+      nk = count - assigned;
+    } else {
+      nk = std::max<index>(
+          1, static_cast<index>(std::round(static_cast<double>(count) *
+                                           (bands[k].f_hi - bands[k].f_lo) / total)));
+      nk = std::min(nk, count - assigned - static_cast<index>(bands.size() - k - 1));
+    }
+    assigned += nk;
+    const auto part = sample_band(bands[k], nk, scheme);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace pmtbr::mor

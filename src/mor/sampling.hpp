@@ -1,0 +1,50 @@
+// Frequency sampling schemes and quadrature weights for the sampled-Gramian
+// integral (paper Eq. 8/10).
+//
+// Every (points, weights) pair implicitly defines a frequency weighting
+// w(ω) (paper Sec. IV-B): uniform sampling over a band approximates the
+// finite-bandwidth Gramian; multiple bands give the frequency-selective
+// variant (Algorithm 2).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::mor {
+
+using la::cd;
+using la::index;
+
+/// One quadrature node s = jω with weight w (the √w scaling is applied by
+/// the algorithms when forming ZW).
+struct FrequencySample {
+  cd s;
+  double weight = 1.0;
+};
+
+/// A frequency band [f_lo, f_hi] in Hz (converted to rad/s internally).
+struct Band {
+  double f_lo = 0.0;
+  double f_hi = 1e9;
+};
+
+enum class SamplingScheme {
+  kUniform,        // rectangle rule, equally spaced in f
+  kLogarithmic,    // equally spaced in log f (f_lo clamped above 0)
+  kGaussLegendre,  // Gauss–Legendre nodes/weights mapped onto the band
+};
+
+/// `count` samples on a single band.
+std::vector<FrequencySample> sample_band(const Band& band, index count, SamplingScheme scheme);
+
+/// Samples distributed over several bands proportionally to bandwidth
+/// (at least one sample per band) — Algorithm 2's point selection.
+std::vector<FrequencySample> sample_bands(const std::vector<Band>& bands, index count,
+                                          SamplingScheme scheme);
+
+/// Gauss–Legendre nodes and weights on [-1, 1] (Newton on Legendre
+/// polynomials; exposed for tests).
+void gauss_legendre(index n, std::vector<double>& nodes, std::vector<double>& weights);
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,75 @@
+#include "mor/state_space.hpp"
+
+#include <cmath>
+
+#include "la/lu.hpp"
+#include "la/ops.hpp"
+#include "la/schur.hpp"
+
+namespace pmtbr::mor {
+
+DenseSystem::DenseSystem(MatD e, MatD a, MatD b, MatD c)
+    : e_(std::move(e)), a_(std::move(a)), b_(std::move(b)), c_(std::move(c)) {
+  PMTBR_REQUIRE(a_.rows() == a_.cols(), "A must be square");
+  PMTBR_REQUIRE(e_.rows() == a_.rows() && e_.cols() == a_.cols(), "E shape mismatch");
+  PMTBR_REQUIRE(b_.rows() == a_.rows(), "B row mismatch");
+  PMTBR_REQUIRE(c_.cols() == a_.rows(), "C column mismatch");
+}
+
+DenseSystem DenseSystem::standard(MatD a, MatD b, MatD c) {
+  MatD e = MatD::identity(a.rows());
+  return DenseSystem(std::move(e), std::move(a), std::move(b), std::move(c));
+}
+
+MatC DenseSystem::transfer(cd s) const {
+  const index n = a_.rows();
+  MatC pencil(n, n);
+  for (index i = 0; i < n; ++i)
+    for (index j = 0; j < n; ++j) pencil(i, j) = s * e_(i, j) - a_(i, j);
+  const la::LuC lu(pencil);
+  return la::matmul(la::to_complex(c_), lu.solve(la::to_complex(b_)));
+}
+
+std::vector<cd> DenseSystem::poles() const {
+  // Generalized eigenvalues via E^{-1} A (reduced E is small and, for every
+  // algorithm here, nonsingular by construction of the projection bases).
+  const la::LuD lu(e_);
+  return la::eigenvalues(lu.solve(a_));
+}
+
+bool DenseSystem::is_stable(double margin) const {
+  for (const cd p : poles())
+    if (p.real() > -margin) return false;
+  return true;
+}
+
+MatD sparse_times_dense(const sparse::CsrD& m, const MatD& v) {
+  PMTBR_REQUIRE(m.cols() == v.rows(), "sparse*dense shape mismatch");
+  MatD out(m.rows(), v.cols());
+  for (index i = 0; i < m.rows(); ++i) {
+    for (index k = m.row_ptr()[static_cast<std::size_t>(i)];
+         k < m.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const double val = m.values()[static_cast<std::size_t>(k)];
+      const index col = m.col_idx()[static_cast<std::size_t>(k)];
+      for (index j = 0; j < v.cols(); ++j) out(i, j) += val * v(col, j);
+    }
+  }
+  return out;
+}
+
+DenseSystem project(const DescriptorSystem& sys, const MatD& v, const MatD& w) {
+  PMTBR_REQUIRE(v.rows() == sys.n() && w.rows() == sys.n(), "basis row mismatch");
+  PMTBR_REQUIRE(v.cols() == w.cols(), "basis column mismatch");
+  const MatD wt = la::transpose(w);
+  MatD er = la::matmul(wt, sparse_times_dense(sys.e(), v));
+  MatD ar = la::matmul(wt, sparse_times_dense(sys.a(), v));
+  MatD br = la::matmul(wt, sys.b());
+  MatD cr = la::matmul(sys.c(), v);
+  return DenseSystem(std::move(er), std::move(ar), std::move(br), std::move(cr));
+}
+
+DenseSystem project_congruence(const DescriptorSystem& sys, const MatD& v) {
+  return project(sys, v, v);
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,68 @@
+// Dense state-space models (the output type of every reduction algorithm)
+// and the projection operation that produces them from sparse descriptor
+// systems.
+#pragma once
+
+#include <vector>
+
+#include "circuit/descriptor.hpp"
+#include "la/matrix.hpp"
+
+namespace pmtbr::mor {
+
+using la::cd;
+using la::index;
+using la::MatC;
+using la::MatD;
+
+/// Small dense descriptor model  E dz/dt = A z + B u, y = C z.
+class DenseSystem {
+ public:
+  DenseSystem() = default;
+  DenseSystem(MatD e, MatD a, MatD b, MatD c);
+
+  /// E = I convenience constructor.
+  static DenseSystem standard(MatD a, MatD b, MatD c);
+
+  index n() const { return a_.rows(); }
+  index num_inputs() const { return b_.cols(); }
+  index num_outputs() const { return c_.rows(); }
+
+  const MatD& e() const { return e_; }
+  const MatD& a() const { return a_; }
+  const MatD& b() const { return b_; }
+  const MatD& c() const { return c_; }
+
+  /// H(s) = C (sE - A)^{-1} B.
+  MatC transfer(cd s) const;
+
+  /// Generalized eigenvalues of (A, E) — the model's poles.
+  std::vector<cd> poles() const;
+
+  /// True if all poles have strictly negative real part.
+  bool is_stable(double margin = 0.0) const;
+
+ private:
+  MatD e_, a_, b_, c_;
+};
+
+/// Result of any projection-based reduction.
+struct ReducedModel {
+  DenseSystem system;
+  MatD v;                               // right projection basis (n×q)
+  MatD w;                               // left projection basis (n×q); == v for congruence
+  std::vector<double> singular_values;  // method-specific spectrum (may be longer than q)
+};
+
+/// Petrov–Galerkin projection of a sparse descriptor system:
+///   Er = W^T E V, Ar = W^T A V, Br = W^T B, Cr = C V.
+DenseSystem project(const DescriptorSystem& sys, const MatD& v, const MatD& w);
+
+/// Galerkin (congruence) projection, W = V — preserves passivity for
+/// RLC-MNA structure (paper Sec. V-E).
+DenseSystem project_congruence(const DescriptorSystem& sys, const MatD& v);
+
+/// Sparse E*V / A*V products used by project(); exposed for reuse.
+MatD sparse_times_dense(const sparse::CsrD& m, const MatD& v);
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,127 @@
+#include "mor/tbr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/eig_sym.hpp"
+#include "la/ops.hpp"
+#include "la/svd.hpp"
+#include "util/logging.hpp"
+
+namespace pmtbr::mor {
+
+namespace {
+
+TbrResult tbr_standard(const MatD& a, const MatD& b, const MatD& c, const TbrOptions& opts) {
+  const MatD x = lyap::controllability_gramian(a, b, opts.lyapunov);
+  const MatD y = lyap::observability_gramian(a, c, opts.lyapunov);
+  const MatD lx = la::psd_factor(x);
+  const MatD ly = la::psd_factor(y);
+
+  // Ly^T Lx = U Σ V^T; Σ are the Hankel singular values.
+  const la::SvdResult f = la::svd(la::matmul(la::transpose(ly), lx));
+
+  TbrResult out;
+  out.hsv = f.s;
+
+  // The balancing transform needs σ^{-1/2}: cap the order where σ becomes
+  // numerically zero relative to σ1.
+  const double s1 = f.s.empty() ? 0.0 : f.s.front();
+  index max_usable = 0;
+  for (const double s : f.s)
+    if (s > 1e-13 * s1) ++max_usable;
+  max_usable = std::max<index>(max_usable, 1);
+
+  index order;
+  if (opts.fixed_order > 0) {
+    order = std::min<index>(opts.fixed_order, max_usable);
+    if (order < opts.fixed_order)
+      log_warn("tbr: requested order ", opts.fixed_order, " capped to ", order,
+               " by numerically zero Hankel singular values");
+  } else {
+    double total = 0;
+    for (const double s : f.s) total += s;
+    double tail = total;
+    order = 0;
+    while (order < max_usable && tail > opts.error_tol * total) {
+      tail -= f.s[static_cast<std::size_t>(order)];
+      ++order;
+    }
+    order = std::max<index>(order, 1);
+  }
+
+  const index q = order;
+  MatD v(a.rows(), q), w(a.rows(), q);
+  for (index j = 0; j < q; ++j) {
+    const double is = 1.0 / std::sqrt(f.s[static_cast<std::size_t>(j)]);
+    for (index i = 0; i < a.rows(); ++i) {
+      double accv = 0, accw = 0;
+      for (index l = 0; l < lx.cols(); ++l) accv += lx(i, l) * f.v(l, j);
+      for (index l = 0; l < ly.cols(); ++l) accw += ly(i, l) * f.u(l, j);
+      v(i, j) = accv * is;
+      w(i, j) = accw * is;
+    }
+  }
+
+  out.model.v = v;
+  out.model.w = w;
+  MatD ar = la::matmul(la::transpose(w), la::matmul(a, v));
+  MatD br = la::matmul(la::transpose(w), b);
+  MatD cr = la::matmul(c, v);
+  out.model.system = DenseSystem::standard(std::move(ar), std::move(br), std::move(cr));
+  out.model.singular_values = f.s;
+  out.error_bound = tbr_error_bound(out.hsv, q);
+  return out;
+}
+
+}  // namespace
+
+TbrResult tbr(const DescriptorSystem& sys, const TbrOptions& opts) {
+  const DenseStandard d = to_dense_standard(sys);
+  return tbr_standard(d.a, d.b, d.c, opts);
+}
+
+TbrResult tbr_dense(const MatD& a, const MatD& b, const MatD& c, const TbrOptions& opts) {
+  return tbr_standard(a, b, c, opts);
+}
+
+TbrResult tbr_truncate(const DescriptorSystem& sys, const TbrResult& full, index order) {
+  PMTBR_REQUIRE(order >= 1 && order <= full.model.v.cols(),
+                "truncation order must be in [1, order of the given result]");
+  TbrResult out;
+  out.hsv = full.hsv;
+  out.model.v = full.model.v.columns(0, order);
+  out.model.w = full.model.w.columns(0, order);
+  out.model.singular_values = full.model.singular_values;
+  // Project the dense standard form, exactly as tbr() does (the balancing
+  // bases satisfy W^T V = I in those coordinates).
+  const DenseStandard d = to_dense_standard(sys);
+  MatD ar = la::matmul(la::transpose(out.model.w), la::matmul(d.a, out.model.v));
+  MatD br = la::matmul(la::transpose(out.model.w), d.b);
+  MatD cr = la::matmul(d.c, out.model.v);
+  out.model.system = DenseSystem::standard(std::move(ar), std::move(br), std::move(cr));
+  out.error_bound = tbr_error_bound(full.hsv, order);
+  return out;
+}
+
+std::vector<double> hankel_singular_values(const DescriptorSystem& sys,
+                                           const lyap::LyapunovOptions& opts) {
+  const DenseStandard d = to_dense_standard(sys);
+  const MatD x = lyap::controllability_gramian(d.a, d.b, opts);
+  const MatD y = lyap::observability_gramian(d.a, d.c, opts);
+  const MatD lx = la::psd_factor(x);
+  const MatD ly = la::psd_factor(y);
+  auto s = la::singular_values(la::matmul(la::transpose(ly), lx));
+  const std::size_t n = static_cast<std::size_t>(sys.n());
+  if (s.size() < n) s.resize(n, 0.0);  // rank-deficient factors: pad with zeros
+  return s;
+}
+
+double tbr_error_bound(const std::vector<double>& hsv, index order) {
+  double bound = 0;
+  for (std::size_t i = static_cast<std::size_t>(std::max<index>(order, 0)); i < hsv.size(); ++i)
+    bound += hsv[i];
+  return 2.0 * bound;
+}
+
+}  // namespace pmtbr::mor

@@ -1,0 +1,37 @@
+#include "signal/ac.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace pmtbr::signal {
+
+namespace {
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+template <typename System>
+std::vector<AcPoint> sweep_impl(const System& sys, const std::vector<double>& freqs,
+                                la::index out_idx, la::index in_idx) {
+  PMTBR_REQUIRE(out_idx < sys.num_outputs() && in_idx < sys.num_inputs(),
+                "transfer entry out of range");
+  std::vector<AcPoint> out;
+  out.reserve(freqs.size());
+  for (const double f : freqs) {
+    const la::cd h = sys.transfer(la::cd(0.0, kTwoPi * f))(out_idx, in_idx);
+    out.push_back({f, std::abs(h), std::arg(h)});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<AcPoint> ac_sweep(const DescriptorSystem& sys, const std::vector<double>& freqs,
+                              la::index out_idx, la::index in_idx) {
+  return sweep_impl(sys, freqs, out_idx, in_idx);
+}
+
+std::vector<AcPoint> ac_sweep(const mor::DenseSystem& sys, const std::vector<double>& freqs,
+                              la::index out_idx, la::index in_idx) {
+  return sweep_impl(sys, freqs, out_idx, in_idx);
+}
+
+}  // namespace pmtbr::signal

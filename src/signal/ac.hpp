@@ -1,0 +1,25 @@
+// AC sweep: transfer-function magnitude/phase series over a frequency grid,
+// for full and reduced models — the data behind Fig. 11's transfer-function
+// overlay.
+#pragma once
+
+#include <vector>
+
+#include "circuit/descriptor.hpp"
+#include "mor/state_space.hpp"
+
+namespace pmtbr::signal {
+
+struct AcPoint {
+  double f_hz = 0.0;
+  double magnitude = 0.0;  // |H(j2πf)| of the selected entry
+  double phase_rad = 0.0;
+};
+
+/// Sweep of transfer-function entry (out_idx, in_idx).
+std::vector<AcPoint> ac_sweep(const DescriptorSystem& sys, const std::vector<double>& freqs,
+                              la::index out_idx = 0, la::index in_idx = 0);
+std::vector<AcPoint> ac_sweep(const mor::DenseSystem& sys, const std::vector<double>& freqs,
+                              la::index out_idx = 0, la::index in_idx = 0);
+
+}  // namespace pmtbr::signal

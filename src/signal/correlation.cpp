@@ -1,0 +1,30 @@
+#include "signal/correlation.hpp"
+
+#include "la/ops.hpp"
+#include "la/svd.hpp"
+
+namespace pmtbr::signal {
+
+MatD correlation_matrix(const MatD& samples) {
+  PMTBR_REQUIRE(samples.cols() >= 1, "need at least one sample");
+  MatD k = la::matmul(samples, la::transpose(samples));
+  k *= 1.0 / static_cast<double>(samples.cols());
+  return k;
+}
+
+std::vector<double> correlation_spectrum(const MatD& samples) {
+  auto s = la::singular_values(samples);
+  for (auto& v : s) v = v * v / static_cast<double>(samples.cols());
+  return s;
+}
+
+la::index effective_rank(const MatD& samples, double tol) {
+  const auto spec = correlation_spectrum(samples);
+  if (spec.empty() || spec.front() <= 0) return 0;
+  la::index r = 0;
+  for (const double v : spec)
+    if (v > tol * spec.front()) ++r;
+  return r;
+}
+
+}  // namespace pmtbr::signal

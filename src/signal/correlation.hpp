@@ -1,0 +1,22 @@
+// Empirical input-correlation estimation (paper Sec. IV-C): from waveform
+// samples to the correlation matrix K and its spectrum.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "signal/waveform.hpp"
+
+namespace pmtbr::signal {
+
+/// K = U U^T / N for a p×N sample matrix.
+MatD correlation_matrix(const MatD& samples);
+
+/// Eigenvalues of K (descending) — equivalently S_K^2 / N from the SVD of
+/// the sample matrix; their decay is what input-correlated TBR exploits.
+std::vector<double> correlation_spectrum(const MatD& samples);
+
+/// Effective rank: number of correlation eigenvalues above tol·λ_max.
+la::index effective_rank(const MatD& samples, double tol = 1e-6);
+
+}  // namespace pmtbr::signal

@@ -1,0 +1,35 @@
+#include "signal/subspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/ops.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+
+namespace pmtbr::signal {
+
+std::vector<double> principal_angles(const la::MatD& a, const la::MatD& b) {
+  PMTBR_REQUIRE(a.rows() == b.rows(), "subspaces must live in the same space");
+  const la::MatD qa = la::orth(a);
+  const la::MatD qb = la::orth(b);
+  auto s = la::singular_values(la::matmul(la::transpose(qa), qb));
+  std::vector<double> angles;
+  angles.reserve(s.size());
+  // cos θ_i are the singular values of Qa^T Qb; clamp for round-off.
+  for (const double c : s) angles.push_back(std::acos(std::clamp(c, -1.0, 1.0)));
+  std::sort(angles.begin(), angles.end());
+  return angles;
+}
+
+double subspace_angle(const la::MatD& a, const la::MatD& b) {
+  const auto angles = principal_angles(a, b);
+  PMTBR_ENSURE(!angles.empty(), "empty subspaces");
+  // The angle between a smaller and larger subspace is governed by the
+  // smaller dimension: take the largest of the min(dim) angles.
+  const std::size_t k = std::min<std::size_t>(
+      angles.size(), static_cast<std::size_t>(std::min(a.cols(), b.cols())));
+  return angles[k - 1];
+}
+
+}  // namespace pmtbr::signal

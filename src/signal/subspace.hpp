@@ -1,0 +1,20 @@
+// Principal angles between subspaces, used to measure convergence of the
+// PMTBR projection subspace to the exact TBR eigenspace (paper Fig. 6).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::signal {
+
+/// Principal angles (radians, ascending) between span(a) and span(b);
+/// columns need not be orthonormal (orthonormalized internally).
+std::vector<double> principal_angles(const la::MatD& a, const la::MatD& b);
+
+/// Largest principal angle between span(a) and span(b) — the "angle between
+/// subspaces". For a single vector vs. a subspace this is the angle between
+/// the vector and its projection.
+double subspace_angle(const la::MatD& a, const la::MatD& b);
+
+}  // namespace pmtbr::signal

@@ -1,0 +1,50 @@
+// Trapezoidal-rule transient simulation of descriptor systems (sparse full
+// models) and dense reduced models, with waveform-bank inputs.
+//
+// This is the engine behind the time-domain comparisons of Figs. 13–15:
+// simulate the full network and the reduced models under identical
+// (dithered) stimuli and compare port outputs.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "circuit/descriptor.hpp"
+#include "mor/state_space.hpp"
+#include "signal/waveform.hpp"
+
+namespace pmtbr::signal {
+
+using InputFunction = std::function<std::vector<double>(double t)>;
+
+struct TransientOptions {
+  double t_end = 1e-7;
+  la::index steps = 1000;
+};
+
+struct TransientResult {
+  std::vector<double> times;
+  la::MatD outputs;  // steps+1 rows × num_outputs columns
+};
+
+/// Trapezoidal integration of E dx/dt = A x + B u(t), x(0) = 0.
+TransientResult simulate(const DescriptorSystem& sys, const InputFunction& u,
+                         const TransientOptions& opts);
+
+/// Same for a dense reduced model.
+TransientResult simulate(const mor::DenseSystem& sys, const InputFunction& u,
+                         const TransientOptions& opts);
+
+/// Adapts a waveform bank (one per input) into an InputFunction.
+InputFunction bank_input(const std::vector<Waveform>& bank);
+
+/// Max and RMS difference between two output matrices, over all ports and
+/// steps (grids must match).
+struct OutputError {
+  double max_abs = 0.0;
+  double rms = 0.0;
+  double max_ref = 0.0;  // max |reference| for normalization
+};
+OutputError compare_outputs(const TransientResult& ref, const TransientResult& test);
+
+}  // namespace pmtbr::signal

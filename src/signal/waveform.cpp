@@ -1,0 +1,140 @@
+#include "signal/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace pmtbr::signal {
+
+Waveform::Waveform(std::vector<double> times, std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  PMTBR_REQUIRE(times_.size() == values_.size() && !times_.empty(),
+                "waveform needs matching, nonempty time/value arrays");
+  PMTBR_REQUIRE(std::is_sorted(times_.begin(), times_.end()), "times must be ascending");
+}
+
+double Waveform::value(double t) const {
+  if (t <= times_.front()) return values_.front();
+  if (t >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  const std::size_t hi = static_cast<std::size_t>(it - times_.begin());
+  const std::size_t lo = hi - 1;
+  const double span = times_[hi] - times_[lo];
+  if (span <= 0) return values_[hi];
+  const double a = (t - times_[lo]) / span;
+  return values_[lo] + a * (values_[hi] - values_[lo]);
+}
+
+Waveform make_square_wave(const SquareWaveSpec& spec, double t_end, Rng& rng) {
+  PMTBR_REQUIRE(spec.period > 0 && t_end > 0, "period and t_end must be positive");
+  PMTBR_REQUIRE(spec.rise_time > 0 && spec.rise_time < 0.25 * spec.period,
+                "rise time must be positive and well below the period");
+  std::vector<double> t{0.0}, v{0.0};
+  double cycle_start = spec.phase;
+  // Skip whole cycles that end before t = 0.
+  while (cycle_start + spec.period < 0) cycle_start += spec.period;
+
+  const auto dither = [&] { return spec.dither_fraction * spec.period * rng.uniform(-0.5, 0.5); };
+  while (cycle_start < t_end) {
+    const double rise_at = cycle_start + dither();
+    const double fall_at = cycle_start + spec.duty * spec.period + dither();
+    if (rise_at >= t.back() && rise_at < t_end) {
+      t.push_back(rise_at);
+      v.push_back(0.0);
+      t.push_back(rise_at + spec.rise_time);
+      v.push_back(spec.amplitude);
+    }
+    if (fall_at > t.back() && fall_at < t_end) {
+      t.push_back(fall_at);
+      v.push_back(spec.amplitude);
+      t.push_back(fall_at + spec.rise_time);
+      v.push_back(0.0);
+    }
+    cycle_start += spec.period;
+  }
+  t.push_back(t_end + spec.period);
+  v.push_back(v.back());
+  return Waveform(std::move(t), std::move(v));
+}
+
+std::vector<Waveform> make_square_bank(const SquareWaveSpec& spec, double t_end,
+                                       const std::vector<double>& phases, Rng& rng) {
+  std::vector<Waveform> bank;
+  bank.reserve(phases.size());
+  for (const double ph : phases) {
+    SquareWaveSpec s = spec;
+    s.phase = ph;
+    bank.push_back(make_square_wave(s, t_end, rng));
+  }
+  return bank;
+}
+
+std::vector<Waveform> make_bulk_currents(const BulkCurrentSpec& spec, double t_end, Rng& rng) {
+  PMTBR_REQUIRE(spec.num_ports >= 1 && spec.num_sources >= 1, "need ports and sources");
+  // Global switching events: one pulse per source per clock cycle, with a
+  // source-specific offset within the cycle plus small jitter.
+  const index cycles = std::max<index>(1, static_cast<index>(t_end / spec.clock_period));
+  std::vector<std::vector<double>> event_times(static_cast<std::size_t>(spec.num_sources));
+  for (index s = 0; s < spec.num_sources; ++s) {
+    const double offset = rng.uniform(0.0, spec.clock_period);
+    for (index c = 0; c < cycles; ++c) {
+      const double jitter = spec.jitter_fraction * spec.clock_period * rng.uniform(-0.5, 0.5);
+      event_times[static_cast<std::size_t>(s)].push_back(
+          static_cast<double>(c) * spec.clock_period + offset + jitter);
+    }
+  }
+  // Port gains: sparse-ish random mixture of sources.
+  MatD gains(spec.num_ports, spec.num_sources);
+  for (index p = 0; p < spec.num_ports; ++p)
+    for (index s = 0; s < spec.num_sources; ++s)
+      gains(p, s) = rng.normal() * (rng.uniform() < 0.6 ? 1.0 : 0.1);
+
+  // Build each port waveform as a sum of triangular pulses at the source
+  // events, scaled by the port's gain — evaluated on a shared uniform grid
+  // so the piecewise-linear representation stays simple.
+  const index grid_n = std::max<index>(256, cycles * 64);
+  std::vector<double> grid(static_cast<std::size_t>(grid_n));
+  for (index k = 0; k < grid_n; ++k)
+    grid[static_cast<std::size_t>(k)] = t_end * static_cast<double>(k) / static_cast<double>(grid_n - 1);
+
+  const auto pulse = [&](double t, double center) {
+    const double d = std::abs(t - center) / spec.pulse_width;
+    return d >= 1.0 ? 0.0 : (1.0 - d);
+  };
+
+  std::vector<Waveform> bank;
+  bank.reserve(static_cast<std::size_t>(spec.num_ports));
+  for (index p = 0; p < spec.num_ports; ++p) {
+    std::vector<double> vals(static_cast<std::size_t>(grid_n), 0.0);
+    for (index s = 0; s < spec.num_sources; ++s) {
+      const double g = gains(p, s) * spec.amplitude;
+      if (g == 0) continue;
+      for (const double ev : event_times[static_cast<std::size_t>(s)]) {
+        // Only touch grid points near the event.
+        const double lo = ev - spec.pulse_width, hi = ev + spec.pulse_width;
+        const index k0 = std::max<index>(
+            0, static_cast<index>(lo / t_end * static_cast<double>(grid_n - 1)) - 1);
+        const index k1 = std::min<index>(
+            grid_n - 1, static_cast<index>(hi / t_end * static_cast<double>(grid_n - 1)) + 1);
+        for (index k = k0; k <= k1; ++k)
+          vals[static_cast<std::size_t>(k)] += g * pulse(grid[static_cast<std::size_t>(k)], ev);
+      }
+    }
+    bank.emplace_back(grid, std::move(vals));
+  }
+  return bank;
+}
+
+MatD sample_waveforms(const std::vector<Waveform>& bank, double t_end, index num_samples) {
+  PMTBR_REQUIRE(!bank.empty() && num_samples >= 1, "need waveforms and samples");
+  MatD u(static_cast<index>(bank.size()), num_samples);
+  for (index l = 0; l < num_samples; ++l) {
+    const double t = t_end * (static_cast<double>(l) + 0.5) / static_cast<double>(num_samples);
+    for (index k = 0; k < static_cast<index>(bank.size()); ++k)
+      u(k, l) = bank[static_cast<std::size_t>(k)].value(t);
+  }
+  return u;
+}
+
+}  // namespace pmtbr::signal

@@ -1,0 +1,72 @@
+// Waveform generators for the input-correlated experiments (paper Sec.
+// VI-C): square waves with dithered edge timings, correlated pulse trains
+// mimicking MOS bulk currents, and a piecewise-linear waveform type used by
+// the transient engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace pmtbr::signal {
+
+using la::index;
+using la::MatD;
+
+/// Square wave with finite rise/fall and per-edge timing dither (paper
+/// Fig. 12: "timings randomly dithered about 10% of the period").
+struct SquareWaveSpec {
+  double period = 1e-8;
+  double amplitude = 1.0;
+  double rise_time = 2e-10;
+  double duty = 0.5;
+  double dither_fraction = 0.1;  // edge jitter as a fraction of the period
+  double phase = 0.0;            // constant offset, in seconds
+};
+
+/// A sampled waveform: value(t) by linear interpolation, constant outside
+/// the sample range.
+class Waveform {
+ public:
+  Waveform() = default;
+  Waveform(std::vector<double> times, std::vector<double> values);
+
+  double value(double t) const;
+  const std::vector<double>& times() const { return times_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// One realization of a dithered square wave covering [0, t_end].
+Waveform make_square_wave(const SquareWaveSpec& spec, double t_end, Rng& rng);
+
+/// A bank of dithered square waves sharing a common clock (correlated
+/// inputs): all waves have the spec's period; per-wave phases are drawn
+/// from `phases` (seconds). Each edge gets independent dither.
+std::vector<Waveform> make_square_bank(const SquareWaveSpec& spec, double t_end,
+                                       const std::vector<double>& phases, Rng& rng);
+
+/// Correlated pulse-train bank mimicking MOS bulk currents: `num_sources`
+/// global switching events drive all ports through a random (seeded) gain
+/// pattern, giving an input ensemble of numerical rank ≈ num_sources.
+struct BulkCurrentSpec {
+  index num_ports = 150;
+  index num_sources = 5;
+  double clock_period = 1e-8;
+  double pulse_width = 5e-10;
+  double amplitude = 1e-4;
+  double jitter_fraction = 0.05;
+};
+std::vector<Waveform> make_bulk_currents(const BulkCurrentSpec& spec, double t_end, Rng& rng);
+
+/// Samples a waveform bank into the p×N matrix consumed by
+/// mor::input_correlated_tbr (column l = all port values at time t_l).
+MatD sample_waveforms(const std::vector<Waveform>& bank, double t_end, index num_samples);
+
+}  // namespace pmtbr::signal

@@ -1,0 +1,96 @@
+// Compressed sparse row storage templated on scalar, plus the triplet
+// builder used by MNA assembly.
+//
+// The key composite operation for PMTBR is forming the shifted pencil
+// s*E - A as a complex CSR from two real CSRs (shifted_pencil()).
+#pragma once
+
+#include <complex>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "util/check.hpp"
+
+namespace pmtbr::sparse {
+
+using la::cd;
+using la::index;
+
+/// Coordinate-format builder; duplicate entries are summed on conversion.
+template <typename T>
+class Triplets {
+ public:
+  Triplets(index rows, index cols) : rows_(rows), cols_(cols) {}
+
+  void add(index i, index j, T v) {
+    PMTBR_REQUIRE(0 <= i && i < rows_ && 0 <= j && j < cols_, "triplet out of range");
+    if (v == T{}) return;
+    i_.push_back(i);
+    j_.push_back(j);
+    v_.push_back(v);
+  }
+
+  index rows() const { return rows_; }
+  index cols() const { return cols_; }
+  std::size_t nnz() const { return v_.size(); }
+
+  const std::vector<index>& row_idx() const { return i_; }
+  const std::vector<index>& col_idx() const { return j_; }
+  const std::vector<T>& values() const { return v_; }
+
+ private:
+  index rows_, cols_;
+  std::vector<index> i_, j_;
+  std::vector<T> v_;
+};
+
+template <typename T>
+class Csr {
+ public:
+  Csr() = default;
+  explicit Csr(const Triplets<T>& t);
+  Csr(index rows, index cols, std::vector<index> ptr, std::vector<index> col, std::vector<T> val)
+      : rows_(rows), cols_(cols), ptr_(std::move(ptr)), col_(std::move(col)), val_(std::move(val)) {}
+
+  index rows() const { return rows_; }
+  index cols() const { return cols_; }
+  std::size_t nnz() const { return val_.size(); }
+
+  const std::vector<index>& row_ptr() const { return ptr_; }
+  const std::vector<index>& col_idx() const { return col_; }
+  const std::vector<T>& values() const { return val_; }
+  std::vector<T>& values() { return val_; }
+
+  /// y = A x.
+  std::vector<T> matvec(const std::vector<T>& x) const;
+
+  /// y = A^T x (no conjugation).
+  std::vector<T> matvec_transpose(const std::vector<T>& x) const;
+
+  /// Dense densification (small matrices / tests only).
+  la::Matrix<T> to_dense() const;
+
+  /// Entry lookup (linear scan of the row; for tests).
+  T at(index i, index j) const;
+
+ private:
+  index rows_ = 0, cols_ = 0;
+  std::vector<index> ptr_;
+  std::vector<index> col_;
+  std::vector<T> val_;
+};
+
+using CsrD = Csr<double>;
+using CsrC = Csr<cd>;
+
+/// alpha*A + beta*B over the union sparsity pattern.
+template <typename T>
+Csr<T> combine(T alpha, const Csr<T>& a, T beta, const Csr<T>& b);
+
+/// Complex pencil s*E - A from two real matrices — the PMTBR shifted system.
+CsrC shifted_pencil(cd s, const CsrD& e, const CsrD& a);
+
+/// Complex copy of a real sparse matrix.
+CsrC to_complex(const CsrD& a);
+
+}  // namespace pmtbr::sparse

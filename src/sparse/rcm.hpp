@@ -1,0 +1,25 @@
+// Reverse Cuthill–McKee fill-reducing ordering.
+//
+// Circuit MNA matrices from grids/trees have small graph bandwidth under
+// RCM, which keeps the Gilbert–Peierls LU fill (and hence the cost of the
+// many shifted solves in PMTBR) near-linear.
+#pragma once
+
+#include <vector>
+
+#include "sparse/csr.hpp"
+
+namespace pmtbr::sparse {
+
+/// RCM permutation of the symmetrized pattern of A (pattern of A + A^T).
+/// Returns perm such that the reordered matrix is B(i,j) = A(perm[i], perm[j]).
+std::vector<index> rcm_ordering(const CsrD& a);
+
+/// Inverse of a permutation.
+std::vector<index> invert_permutation(const std::vector<index>& p);
+
+/// Symmetric permutation B = A(perm, perm).
+template <typename T>
+Csr<T> permute_symmetric(const Csr<T>& a, const std::vector<index>& perm);
+
+}  // namespace pmtbr::sparse

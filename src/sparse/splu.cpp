@@ -1,0 +1,285 @@
+#include "sparse/splu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pmtbr::sparse {
+
+namespace {
+
+// Compressed-sparse-column view of a CSR matrix after a symmetric
+// permutation: column j holds rows of A(q, q)(:, j).
+template <typename T>
+struct Csc {
+  std::vector<index> ptr, row;
+  std::vector<T> val;
+};
+
+template <typename T>
+Csc<T> to_permuted_csc(const Csr<T>& a, const std::vector<index>& q) {
+  const index n = a.rows();
+  const auto inv = [&] {
+    std::vector<index> v(static_cast<std::size_t>(n));
+    for (index k = 0; k < n; ++k) v[static_cast<std::size_t>(q[static_cast<std::size_t>(k)])] = k;
+    return v;
+  }();
+
+  Csc<T> c;
+  c.ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (index i = 0; i < n; ++i)
+    for (index k = a.row_ptr()[static_cast<std::size_t>(i)];
+         k < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k)
+      ++c.ptr[static_cast<std::size_t>(
+                  inv[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])]) +
+              1];
+  for (index j = 0; j < n; ++j)
+    c.ptr[static_cast<std::size_t>(j) + 1] += c.ptr[static_cast<std::size_t>(j)];
+  c.row.resize(a.nnz());
+  c.val.resize(a.nnz());
+  std::vector<index> next(c.ptr.begin(), c.ptr.end() - 1);
+  for (index i = 0; i < n; ++i) {
+    const index pi = inv[static_cast<std::size_t>(i)];
+    for (index k = a.row_ptr()[static_cast<std::size_t>(i)];
+         k < a.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k) {
+      const index pj = inv[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])];
+      const index pos = next[static_cast<std::size_t>(pj)]++;
+      c.row[static_cast<std::size_t>(pos)] = pi;
+      c.val[static_cast<std::size_t>(pos)] = a.values()[static_cast<std::size_t>(k)];
+    }
+  }
+  return c;
+}
+
+constexpr double kPivotThreshold = 1e-3;  // prefer the diagonal when viable
+
+}  // namespace
+
+template <typename T>
+SparseLu<T>::SparseLu(const Csr<T>& a, std::vector<index> perm) {
+  PMTBR_REQUIRE(a.rows() == a.cols(), "sparse LU requires a square matrix");
+  n_ = a.rows();
+  if (perm.empty()) {
+    q_.resize(static_cast<std::size_t>(n_));
+    std::iota(q_.begin(), q_.end(), index{0});
+  } else {
+    PMTBR_REQUIRE(static_cast<index>(perm.size()) == n_, "perm length mismatch");
+    q_ = std::move(perm);
+  }
+  factor(a);
+}
+
+template <typename T>
+void SparseLu<T>::factor(const Csr<T>& a) {
+  const Csc<T> ap = to_permuted_csc(a, q_);
+  const index n = n_;
+
+  pinv_.assign(static_cast<std::size_t>(n), -1);
+  prow_.assign(static_cast<std::size_t>(n), -1);
+  l_ptr_.assign(1, 0);
+  u_ptr_.assign(1, 0);
+  u_diag_.assign(static_cast<std::size_t>(n), T{});
+
+  std::vector<T> x(static_cast<std::size_t>(n), T{});
+  std::vector<char> mark(static_cast<std::size_t>(n), 0);
+  std::vector<index> pattern;      // reach of column j, topological order
+  std::vector<index> dfs_stack, pos_stack;
+
+  for (index j = 0; j < n; ++j) {
+    // --- symbolic: reach of Ap(:,j) through the L graph -----------------
+    pattern.clear();
+    for (index k = ap.ptr[static_cast<std::size_t>(j)]; k < ap.ptr[static_cast<std::size_t>(j) + 1];
+         ++k) {
+      index start = ap.row[static_cast<std::size_t>(k)];
+      if (mark[static_cast<std::size_t>(start)]) continue;
+      dfs_stack.assign(1, start);
+      pos_stack.assign(1, 0);
+      mark[static_cast<std::size_t>(start)] = 1;
+      while (!dfs_stack.empty()) {
+        const index v = dfs_stack.back();
+        const index kp = pinv_[static_cast<std::size_t>(v)];
+        bool descended = false;
+        if (kp >= 0) {
+          index& p = pos_stack.back();
+          const index lb = l_ptr_[static_cast<std::size_t>(kp)];
+          const index le = l_ptr_[static_cast<std::size_t>(kp) + 1];
+          while (lb + p < le) {
+            const index child = l_row_[static_cast<std::size_t>(lb + p)];
+            ++p;
+            if (!mark[static_cast<std::size_t>(child)]) {
+              mark[static_cast<std::size_t>(child)] = 1;
+              dfs_stack.push_back(child);
+              pos_stack.push_back(0);
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          pattern.push_back(v);
+          dfs_stack.pop_back();
+          pos_stack.pop_back();
+        }
+      }
+    }
+    // pattern is in postorder; reverse gives topological order.
+    std::reverse(pattern.begin(), pattern.end());
+
+    // --- numeric: scatter column j and eliminate ------------------------
+    for (index k = ap.ptr[static_cast<std::size_t>(j)]; k < ap.ptr[static_cast<std::size_t>(j) + 1];
+         ++k)
+      x[static_cast<std::size_t>(ap.row[static_cast<std::size_t>(k)])] =
+          ap.val[static_cast<std::size_t>(k)];
+
+    for (index v : pattern) {
+      const index kp = pinv_[static_cast<std::size_t>(v)];
+      if (kp < 0) continue;
+      const T xv = x[static_cast<std::size_t>(v)];
+      if (xv == T{}) continue;
+      for (index k = l_ptr_[static_cast<std::size_t>(kp)];
+           k < l_ptr_[static_cast<std::size_t>(kp) + 1]; ++k)
+        x[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(k)])] -=
+            l_val_[static_cast<std::size_t>(k)] * xv;
+    }
+
+    // --- pivot selection -------------------------------------------------
+    index pivot = -1;
+    double best = 0;
+    double diag_mag = -1;
+    for (index v : pattern) {
+      if (pinv_[static_cast<std::size_t>(v)] >= 0) continue;
+      const double m = std::abs(la::cd(x[static_cast<std::size_t>(v)]));
+      if (v == j) diag_mag = m;
+      if (m > best) {
+        best = m;
+        pivot = v;
+      }
+    }
+    PMTBR_ENSURE(pivot >= 0 && best > 0, "structurally or numerically singular matrix");
+    if (diag_mag >= kPivotThreshold * best) pivot = j;
+
+    pinv_[static_cast<std::size_t>(pivot)] = j;
+    prow_[static_cast<std::size_t>(j)] = pivot;
+    const T piv = x[static_cast<std::size_t>(pivot)];
+    u_diag_[static_cast<std::size_t>(j)] = piv;
+
+    // --- gather U(:,j) (pivotal rows) and L(:,j) (non-pivotal rows) ------
+    for (index v : pattern) {
+      const index kp = pinv_[static_cast<std::size_t>(v)];
+      if (v == pivot) {
+        // pivot handled via u_diag_
+      } else if (kp >= 0 && kp < j) {
+        u_row_.push_back(kp);
+        u_val_.push_back(x[static_cast<std::size_t>(v)]);
+      } else {
+        const T lv = x[static_cast<std::size_t>(v)] / piv;
+        if (lv != T{}) {
+          l_row_.push_back(v);  // permuted-row index; remapped after factor
+          l_val_.push_back(lv);
+        }
+      }
+      x[static_cast<std::size_t>(v)] = T{};
+      mark[static_cast<std::size_t>(v)] = 0;
+    }
+    l_ptr_.push_back(static_cast<index>(l_row_.size()));
+    u_ptr_.push_back(static_cast<index>(u_row_.size()));
+  }
+
+  // Remap L row indices from permuted-row space to pivot positions so the
+  // triangular solves are direct.
+  for (auto& r : l_row_) r = pinv_[static_cast<std::size_t>(r)];
+}
+
+template <typename T>
+std::vector<T> SparseLu<T>::solve(std::vector<T> b) const {
+  PMTBR_REQUIRE(static_cast<index>(b.size()) == n_, "rhs length mismatch");
+  // y[k] = b[q[prow[k]]]  (apply symmetric perm then pivot perm).
+  std::vector<T> y(static_cast<std::size_t>(n_));
+  for (index k = 0; k < n_; ++k)
+    y[static_cast<std::size_t>(k)] =
+        b[static_cast<std::size_t>(q_[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])])];
+  // L forward (unit diagonal).
+  for (index k = 0; k < n_; ++k) {
+    const T t = y[static_cast<std::size_t>(k)];
+    if (t == T{}) continue;
+    for (index p = l_ptr_[static_cast<std::size_t>(k)]; p < l_ptr_[static_cast<std::size_t>(k) + 1];
+         ++p)
+      y[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])] -=
+          l_val_[static_cast<std::size_t>(p)] * t;
+  }
+  // U backward.
+  for (index k = n_ - 1; k >= 0; --k) {
+    const T t = y[static_cast<std::size_t>(k)] / u_diag_[static_cast<std::size_t>(k)];
+    y[static_cast<std::size_t>(k)] = t;
+    if (t == T{}) continue;
+    for (index p = u_ptr_[static_cast<std::size_t>(k)]; p < u_ptr_[static_cast<std::size_t>(k) + 1];
+         ++p)
+      y[static_cast<std::size_t>(u_row_[static_cast<std::size_t>(p)])] -=
+          u_val_[static_cast<std::size_t>(p)] * t;
+  }
+  // x[q[j]] = y[j].
+  std::vector<T> out(static_cast<std::size_t>(n_));
+  for (index jj = 0; jj < n_; ++jj)
+    out[static_cast<std::size_t>(q_[static_cast<std::size_t>(jj)])] = y[static_cast<std::size_t>(jj)];
+  return out;
+}
+
+template <typename T>
+std::vector<T> SparseLu<T>::solve_transpose(std::vector<T> b) const {
+  PMTBR_REQUIRE(static_cast<index>(b.size()) == n_, "rhs length mismatch");
+  // bp[j] = b[q[j]].
+  std::vector<T> w(static_cast<std::size_t>(n_));
+  for (index jj = 0; jj < n_; ++jj)
+    w[static_cast<std::size_t>(jj)] = b[static_cast<std::size_t>(q_[static_cast<std::size_t>(jj)])];
+  // U^T forward: column j of U is row j of U^T.
+  for (index jj = 0; jj < n_; ++jj) {
+    T acc = w[static_cast<std::size_t>(jj)];
+    for (index p = u_ptr_[static_cast<std::size_t>(jj)];
+         p < u_ptr_[static_cast<std::size_t>(jj) + 1]; ++p)
+      acc -= u_val_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(u_row_[static_cast<std::size_t>(p)])];
+    w[static_cast<std::size_t>(jj)] = acc / u_diag_[static_cast<std::size_t>(jj)];
+  }
+  // L^T backward (unit diagonal).
+  for (index jj = n_ - 1; jj >= 0; --jj) {
+    T acc = w[static_cast<std::size_t>(jj)];
+    for (index p = l_ptr_[static_cast<std::size_t>(jj)];
+         p < l_ptr_[static_cast<std::size_t>(jj) + 1]; ++p)
+      acc -= l_val_[static_cast<std::size_t>(p)] *
+             w[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])];
+    w[static_cast<std::size_t>(jj)] = acc;
+  }
+  // x[q[prow[k]]] = w[k].
+  std::vector<T> out(static_cast<std::size_t>(n_));
+  for (index k = 0; k < n_; ++k)
+    out[static_cast<std::size_t>(
+        q_[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])])] =
+        w[static_cast<std::size_t>(k)];
+  return out;
+}
+
+template <typename T>
+std::vector<T> SparseLu<T>::solve_adjoint(const std::vector<T>& b) const {
+  if constexpr (std::is_same_v<T, cd>) {
+    std::vector<T> bc(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) bc[i] = std::conj(b[i]);
+    auto y = solve_transpose(std::move(bc));
+    for (auto& v : y) v = std::conj(v);
+    return y;
+  } else {
+    return solve_transpose(b);
+  }
+}
+
+template <typename T>
+la::Matrix<T> SparseLu<T>::solve(const la::Matrix<T>& b) const {
+  PMTBR_REQUIRE(b.rows() == n_, "rhs row mismatch");
+  la::Matrix<T> x(b.rows(), b.cols());
+  for (index j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+  return x;
+}
+
+template class SparseLu<double>;
+template class SparseLu<cd>;
+
+}  // namespace pmtbr::sparse

@@ -1,0 +1,40 @@
+// Lightweight contract checking used across the library.
+//
+// PMTBR_REQUIRE(cond, msg) throws std::invalid_argument — for precondition
+// violations by the caller (bad dimensions, bad options).
+// PMTBR_ENSURE(cond, msg) throws std::runtime_error — for internal failures
+// (non-convergence, singular factorization) that the caller may want to
+// catch and handle.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pmtbr::detail {
+
+[[noreturn]] inline void fail_require(const char* expr, const std::string& msg,
+                                      const char* file, int line) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " (" << msg << ") at " << file << ":" << line;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void fail_ensure(const char* expr, const std::string& msg,
+                                     const char* file, int line) {
+  std::ostringstream os;
+  os << "internal check failed: " << expr << " (" << msg << ") at " << file << ":" << line;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace pmtbr::detail
+
+#define PMTBR_REQUIRE(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::pmtbr::detail::fail_require(#cond, msg, __FILE__, __LINE__); \
+  } while (false)
+
+#define PMTBR_ENSURE(cond, msg)                                           \
+  do {                                                                    \
+    if (!(cond)) ::pmtbr::detail::fail_ensure(#cond, msg, __FILE__, __LINE__); \
+  } while (false)

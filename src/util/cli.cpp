@@ -1,0 +1,47 @@
+#include "util/cli.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace pmtbr {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        options_[arg.substr(2)] = "1";
+      } else {
+        options_[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& key) const { return options_.count(key) != 0; }
+
+std::string ArgParser::get(const std::string& key, const std::string& def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : it->second;
+}
+
+double ArgParser::get_double(const std::string& key, double def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : std::stod(it->second);
+}
+
+int ArgParser::get_int(const std::string& key, int def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : std::stoi(it->second);
+}
+
+std::uint64_t ArgParser::get_seed(const std::string& key, std::uint64_t def) const {
+  const auto it = options_.find(key);
+  return it == options_.end() ? def : std::stoull(it->second);
+}
+
+}  // namespace pmtbr

@@ -1,0 +1,32 @@
+// Tiny command-line option parser for the examples and bench binaries.
+//
+// Accepts `--key=value` and `--flag` arguments; anything else is collected
+// as a positional argument.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pmtbr {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& def) const;
+  double get_double(const std::string& key, double def) const;
+  int get_int(const std::string& key, int def) const;
+  std::uint64_t get_seed(const std::string& key, std::uint64_t def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace pmtbr

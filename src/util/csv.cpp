@@ -1,0 +1,53 @@
+#include "util/csv.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/check.hpp"
+
+namespace pmtbr {
+
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> header,
+                     const std::string& path)
+    : out_(out) {
+  PMTBR_REQUIRE(!header.empty(), "CSV header must have at least one column");
+  cols_ = header.size();
+  if (!path.empty()) file_.open(path);
+  std::string line;
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (i) line += ',';
+    line += header[i];
+  }
+  emit(line);
+}
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> s;
+  s.reserve(values.size());
+  for (double v : values) s.push_back(format_double(v));
+  row(s);
+}
+
+void CsvWriter::row(const std::vector<std::string>& values) {
+  PMTBR_REQUIRE(values.size() == cols_, "CSV row width must match header");
+  std::string line;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line += ',';
+    line += values[i];
+  }
+  emit(line);
+  ++rows_;
+}
+
+void CsvWriter::emit(const std::string& line) {
+  out_ << line << '\n';
+  if (file_.is_open()) file_ << line << '\n';
+}
+
+}  // namespace pmtbr

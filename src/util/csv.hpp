@@ -1,0 +1,39 @@
+// Tabular output used by the benchmark harness to emit figure data.
+//
+// Each bench binary prints one or more named series in CSV form to stdout;
+// the same writer can mirror the rows into bench/out/*.csv files.
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pmtbr {
+
+/// Streams rows of a table as CSV to stdout and optionally a file.
+class CsvWriter {
+ public:
+  /// Creates a writer emitting to `out`; if `path` is nonempty the rows are
+  /// mirrored to that file as well (directories must already exist).
+  CsvWriter(std::ostream& out, std::vector<std::string> header,
+            const std::string& path = {});
+
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void emit(const std::string& line);
+
+  std::ostream& out_;
+  std::ofstream file_;
+  std::size_t cols_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Formats a double with enough digits to round-trip.
+std::string format_double(double v);
+
+}  // namespace pmtbr

@@ -1,0 +1,44 @@
+#include "util/rng.hpp"
+
+#include <numeric>
+
+namespace pmtbr {
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+std::vector<double> Rng::uniform_vec(std::size_t n, double lo, double hi) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = uniform(lo, hi);
+  return v;
+}
+
+std::vector<double> Rng::normal_vec(std::size_t n, double mean, double stddev) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = normal(mean, stddev);
+  return v;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t n) {
+  std::vector<std::size_t> p(n);
+  std::iota(p.begin(), p.end(), std::size_t{0});
+  for (std::size_t i = n; i > 1; --i) {
+    const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+    std::swap(p[i - 1], p[j]);
+  }
+  return p;
+}
+
+}  // namespace pmtbr

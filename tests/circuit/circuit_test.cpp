@@ -1,0 +1,213 @@
+// Netlist / MNA assembly tests: analytic transfer functions, passivity
+// structure, and descriptor-system plumbing.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/descriptor.hpp"
+#include "circuit/netlist.hpp"
+#include "la/eig_sym.hpp"
+#include "la/lu.hpp"
+#include "la/ops.hpp"
+#include "helpers.hpp"
+
+namespace pmtbr::circuit {
+namespace {
+
+using la::cd;
+using la::MatD;
+
+TEST(Netlist, NodeBookkeeping) {
+  Netlist nl;
+  EXPECT_EQ(nl.add_node(), 1);
+  EXPECT_EQ(nl.add_node(), 2);
+  nl.ensure_node(10);
+  EXPECT_EQ(nl.num_nodes(), 10);
+}
+
+TEST(Netlist, RejectsBadElements) {
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  EXPECT_THROW(nl.add_resistor(n1, n1, 1.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_resistor(n1, 0, -1.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_capacitor(n1, 5, 1e-12), std::invalid_argument);
+  EXPECT_THROW(nl.add_port(0), std::invalid_argument);
+}
+
+TEST(Netlist, MutualRequiresKnownInductors) {
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  const auto l0 = nl.add_inductor(n1, n2, 1e-9);
+  EXPECT_THROW(nl.add_mutual(l0, 5, 1e-10), std::invalid_argument);
+  EXPECT_THROW(nl.add_mutual(l0, l0, 1e-10), std::invalid_argument);
+}
+
+TEST(Mna, ParallelRcAnalytic) {
+  // One node: R and C to ground, current port. Z(s) = R / (1 + sRC).
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const double r = 100.0, c = 1e-12;
+  nl.add_resistor(n1, 0, r);
+  nl.add_capacitor(n1, 0, c);
+  nl.add_port(n1);
+  const DescriptorSystem sys = assemble_mna(nl);
+  EXPECT_EQ(sys.n(), 1);
+  for (const double f : {0.0, 1e8, 1e9, 1e10}) {
+    const cd s(0.0, 2.0 * std::numbers::pi * f);
+    const cd z = sys.transfer(s)(0, 0);
+    const cd expected = r / (1.0 + s * r * c);
+    EXPECT_NEAR(std::abs(z - expected), 0.0, 1e-9 * std::abs(expected));
+  }
+}
+
+TEST(Mna, SeriesRlcAnalytic) {
+  // Port -> node1; R from node1 to node2, L from node2 to ground, C from
+  // node1 to ground. Z(s) = (R + sL) || (1/(sC)).
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  const double r = 2.0, l = 1e-9, c = 1e-12;
+  nl.add_resistor(n1, n2, r);
+  nl.add_inductor(n2, 0, l);
+  nl.add_capacitor(n1, 0, c);
+  nl.add_port(n1);
+  const DescriptorSystem sys = assemble_mna(nl);
+  EXPECT_EQ(sys.n(), 3);  // 2 nodes + 1 inductor current
+  for (const double f : {1e7, 1e9, 2e10}) {
+    const cd s(0.0, 2.0 * std::numbers::pi * f);
+    const cd zrl = r + s * l;
+    const cd zc = 1.0 / (s * c);
+    const cd expected = zrl * zc / (zrl + zc);
+    const cd z = sys.transfer(s)(0, 0);
+    EXPECT_NEAR(std::abs(z - expected), 0.0, 1e-8 * std::abs(expected));
+  }
+}
+
+TEST(Mna, ReciprocityTwoPortRc) {
+  // RC network: Z12 == Z21 (reciprocal network).
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  const auto n3 = nl.add_node();
+  nl.add_resistor(n1, n2, 10.0);
+  nl.add_resistor(n2, n3, 20.0);
+  nl.add_resistor(n2, 0, 30.0);
+  nl.add_capacitor(n1, 0, 1e-12);
+  nl.add_capacitor(n2, 0, 2e-12);
+  nl.add_capacitor(n3, 0, 1e-12);
+  nl.add_port(n1);
+  nl.add_port(n3);
+  const DescriptorSystem sys = assemble_mna(nl);
+  const la::MatC h = sys.transfer(cd(0.0, 1e9));
+  EXPECT_NEAR(std::abs(h(0, 1) - h(1, 0)), 0.0, 1e-12 * std::abs(h(0, 1)));
+}
+
+TEST(Mna, PassivityStructure) {
+  // E = E^T >= 0 and A + A^T <= 0 for an RLC netlist with mutuals.
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  const auto n3 = nl.add_node();
+  nl.add_resistor(n1, n2, 5.0);
+  const auto l1 = nl.add_inductor(n2, n3, 1e-9);
+  const auto l2 = nl.add_inductor(n3, 0, 2e-9);
+  nl.add_mutual(l1, l2, 0.5e-9);
+  nl.add_capacitor(n1, 0, 1e-12);
+  nl.add_capacitor(n2, 0, 1e-12);
+  nl.add_capacitor(n3, 0, 1e-12);
+  nl.add_port(n1);
+  const DescriptorSystem sys = assemble_mna(nl);
+
+  const MatD e = sys.e().to_dense();
+  EXPECT_LT(la::max_abs_diff(e, la::transpose(e)), 1e-15);
+  const auto eige = la::eig_sym(e);
+  EXPECT_GE(eige.values.back(), -1e-18);
+
+  MatD sym_a = sys.a().to_dense();
+  sym_a += la::transpose(sys.a().to_dense());
+  const auto eiga = la::eig_sym(sym_a);
+  EXPECT_LE(eiga.values.front(), 1e-15);
+}
+
+TEST(Mna, BEqualsCTransposed) {
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  nl.add_resistor(n1, n2, 1.0);
+  nl.add_capacitor(n1, 0, 1e-12);
+  nl.add_capacitor(n2, 0, 1e-12);
+  nl.add_port(n2);
+  nl.add_port(n1);
+  const DescriptorSystem sys = assemble_mna(nl);
+  EXPECT_LT(la::max_abs_diff(sys.b(), la::transpose(sys.c())), 1e-15);
+}
+
+TEST(Descriptor, WithPortsRestricts) {
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  const auto n3 = nl.add_node();
+  nl.add_resistor(n1, n2, 1.0);
+  nl.add_resistor(n2, n3, 1.0);
+  nl.add_resistor(n3, 0, 1.0);
+  for (auto nd : {n1, n2, n3}) nl.add_capacitor(nd, 0, 1e-12);
+  nl.add_port(n1);
+  nl.add_port(n2);
+  nl.add_port(n3);
+  const DescriptorSystem sys = assemble_mna(nl);
+  const DescriptorSystem sub = sys.with_ports({0, 2});
+  EXPECT_EQ(sub.num_inputs(), 2);
+  EXPECT_EQ(sub.num_outputs(), 2);
+  const la::MatC h_full = sys.transfer(cd(0.0, 1e9));
+  const la::MatC h_sub = sub.transfer(cd(0.0, 1e9));
+  EXPECT_NEAR(std::abs(h_sub(0, 0) - h_full(0, 0)), 0.0, 1e-13 * std::abs(h_full(0, 0)));
+  EXPECT_NEAR(std::abs(h_sub(1, 1) - h_full(2, 2)), 0.0, 1e-13 * std::abs(h_full(2, 2)));
+}
+
+TEST(Descriptor, DenseStandardMatchesTransfer) {
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  nl.add_resistor(n1, n2, 3.0);
+  nl.add_resistor(n2, 0, 5.0);
+  nl.add_capacitor(n1, 0, 1e-12);
+  nl.add_capacitor(n2, 0, 2e-12);
+  nl.add_port(n1);
+  const DescriptorSystem sys = assemble_mna(nl);
+  const DenseStandard d = to_dense_standard(sys);
+  const cd s(0.0, 3e9);
+  // H = C (sI - Ad)^{-1} Bd
+  la::MatC pencil(2, 2);
+  for (la::index i = 0; i < 2; ++i)
+    for (la::index j = 0; j < 2; ++j) pencil(i, j) = (i == j ? s : cd{0}) - cd(d.a(i, j));
+  const la::MatC x = la::LuC(pencil).solve(la::to_complex(d.b));
+  const cd h_dense = la::matmul(la::to_complex(d.c), x)(0, 0);
+  const cd h_sparse = sys.transfer(s)(0, 0);
+  EXPECT_NEAR(std::abs(h_dense - h_sparse), 0.0, 1e-10 * std::abs(h_sparse));
+}
+
+TEST(Descriptor, TransposeSolveConsistent) {
+  Netlist nl;
+  const auto n1 = nl.add_node();
+  const auto n2 = nl.add_node();
+  nl.add_resistor(n1, n2, 1.0);
+  nl.add_resistor(n2, 0, 2.0);
+  nl.add_capacitor(n1, 0, 1e-12);
+  nl.add_capacitor(n2, 0, 1e-12);
+  nl.add_port(n1);
+  const DescriptorSystem sys = assemble_mna(nl);
+  const cd s(0.0, 1e9);
+  // (sE-A)^{-T} rhs  ==  transpose path check via dense.
+  la::MatC rhs(2, 1);
+  rhs(0, 0) = cd(1.0, 0.5);
+  rhs(1, 0) = cd(-2.0, 1.0);
+  const la::MatC xt = sys.solve_shifted_transpose(s, rhs);
+  const la::MatC dense = sparse::shifted_pencil(s, sys.e(), sys.a()).to_dense();
+  const la::MatC back = la::matmul(la::transpose(dense), xt);
+  EXPECT_NEAR(std::abs(back(0, 0) - rhs(0, 0)), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(back(1, 0) - rhs(1, 0)), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pmtbr::circuit

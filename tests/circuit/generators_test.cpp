@@ -1,0 +1,194 @@
+// Benchmark-circuit generator tests: expected sizes, port counts, stability
+// of the dense standard form, invertible E, and passivity structure.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "la/eig_sym.hpp"
+#include "la/lu.hpp"
+#include "la/ops.hpp"
+#include "la/schur.hpp"
+
+namespace pmtbr::circuit {
+namespace {
+
+using la::index;
+using la::MatD;
+
+void expect_standard_invariants(const DescriptorSystem& sys) {
+  // E invertible (all generators guarantee it).
+  EXPECT_NO_THROW(la::LuD{sys.e().to_dense()});
+  // Symmetric E, PSD; A + A^T negative semidefinite.
+  const MatD e = sys.e().to_dense();
+  EXPECT_LT(la::max_abs_diff(e, la::transpose(e)), 1e-18 * (1.0 + la::norm_inf(e)));
+  MatD sa = sys.a().to_dense();
+  sa += la::transpose(sys.a().to_dense());
+  const auto eig = la::eig_sym(sa);
+  EXPECT_LE(eig.values.front(), 1e-12);
+}
+
+void expect_stable(const DescriptorSystem& sys) {
+  const DenseStandard d = to_dense_standard(sys);
+  const auto poles = la::eigenvalues(d.a);
+  // Stability up to eigensolver round-off, which scales with the spectral
+  // radius (circuit time constants span many decades).
+  const double tol = 1e-10 * std::abs(poles.front());
+  for (const auto& p : poles) EXPECT_LT(p.real(), tol);
+}
+
+TEST(Generators, RcLineShape) {
+  RcLineParams p;
+  p.segments = 10;
+  p.far_end_port = true;
+  const auto sys = make_rc_line(p);
+  EXPECT_EQ(sys.n(), 11);  // 11 nodes, no inductors
+  EXPECT_EQ(sys.num_inputs(), 2);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, RcMeshShapeAndPorts) {
+  RcMeshParams p;
+  p.rows = 6;
+  p.cols = 6;
+  p.num_ports = 8;
+  const auto sys = make_rc_mesh(p);
+  EXPECT_EQ(sys.n(), 36);
+  EXPECT_EQ(sys.num_inputs(), 8);
+  EXPECT_LT(la::max_abs_diff(sys.b(), la::transpose(sys.c())), 1e-15);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, RcMeshPortCountSweep) {
+  for (const index ports : {4, 16, 64}) {
+    RcMeshParams p;
+    p.num_ports = ports;
+    const auto sys = make_rc_mesh(p);
+    EXPECT_EQ(sys.num_inputs(), ports);
+    EXPECT_EQ(sys.n(), 144);
+  }
+}
+
+TEST(Generators, ClockTreeShape) {
+  ClockTreeParams p;
+  p.levels = 5;
+  const auto sys = make_clock_tree(p);
+  EXPECT_EQ(sys.n(), 63);  // 2^6 - 1 nodes
+  EXPECT_EQ(sys.num_inputs(), 1);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, MultiportRcShape) {
+  MultiportRcParams p;
+  p.lines = 8;
+  p.segments = 4;
+  const auto sys = make_multiport_rc(p);
+  EXPECT_EQ(sys.n(), 8 * 5);
+  EXPECT_EQ(sys.num_inputs(), 8);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, SpiralShapeAndStability) {
+  SpiralParams p;
+  p.turns = 8;
+  const auto sys = make_spiral(p);
+  // Nodes: 9 junctions + 8 internal mids; states += 8 inductor currents.
+  EXPECT_EQ(sys.n(), 9 + 8 + 8);
+  EXPECT_EQ(sys.num_inputs(), 1);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, SpiralRejectsOverCoupling) {
+  SpiralParams p;
+  p.coupling = 0.4;
+  EXPECT_THROW(make_spiral(p), std::invalid_argument);
+}
+
+TEST(Generators, PeecShapeAndResonances) {
+  PeecParams p;
+  p.sections = 10;
+  const auto sys = make_peec(p);
+  EXPECT_EQ(sys.num_inputs(), 1);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+  // High-Q: at least some poles close to the imaginary axis relative to
+  // their magnitude.
+  const DenseStandard d = to_dense_standard(sys);
+  bool found_highq = false;
+  for (const auto& pol : la::eigenvalues(d.a)) {
+    if (std::abs(pol.imag()) > 20.0 * std::abs(pol.real())) found_highq = true;
+  }
+  EXPECT_TRUE(found_highq);
+}
+
+TEST(Generators, PeecSeededReproducibility) {
+  PeecParams p;
+  p.sections = 6;
+  const auto s1 = make_peec(p);
+  const auto s2 = make_peec(p);
+  EXPECT_LT(la::max_abs_diff(s1.e().to_dense(), s2.e().to_dense()), 0.0 + 1e-300);
+}
+
+TEST(Generators, ConnectorShape) {
+  ConnectorParams p;
+  p.pins = 4;
+  p.sections = 3;
+  p.cavity_branches = false;
+  const auto sys = make_connector(p);
+  // Per pin: 4 section nodes + 3 mids = 7 nodes, 3 coils.
+  EXPECT_EQ(sys.n(), 4 * (7 + 3));
+  EXPECT_EQ(sys.num_inputs(), 3);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, ConnectorCavityBranchesAddStates) {
+  ConnectorParams with, without;
+  with.pins = without.pins = 4;
+  with.sections = without.sections = 3;
+  without.cavity_branches = false;
+  // Each cavity branch: 2 nodes + 1 inductor current = 3 states; branches
+  // on the two ported pins, one per section node.
+  EXPECT_EQ(make_connector(with).n(), make_connector(without).n() + 2 * 3 * 3);
+  expect_standard_invariants(make_connector(with));
+  expect_stable(make_connector(with));
+}
+
+TEST(Generators, EnergyStandardPreservesTransfer) {
+  ConnectorParams p;
+  p.pins = 3;
+  p.sections = 2;
+  const auto sys = make_connector(p);
+  const auto esys = to_energy_standard(sys);
+  const la::cd s(0.0, 2.0 * 3.14159265358979 * 3e9);
+  const auto h1 = sys.transfer(s);
+  const auto h2 = esys.transfer(s);
+  EXPECT_LT(la::max_abs_diff(h1, h2), 1e-8 * la::norm_fro(h1));
+}
+
+TEST(Generators, SubstrateShapeAndPorts) {
+  SubstrateParams p;
+  p.grid = 8;
+  p.num_ports = 20;
+  const auto sys = make_substrate(p);
+  EXPECT_EQ(sys.n(), 64);
+  EXPECT_EQ(sys.num_inputs(), 20);
+  expect_standard_invariants(sys);
+  expect_stable(sys);
+}
+
+TEST(Generators, SubstrateSeedChangesPorts) {
+  SubstrateParams p1, p2;
+  p1.grid = p2.grid = 6;
+  p1.num_ports = p2.num_ports = 5;
+  p2.seed = p1.seed + 1;
+  const auto s1 = make_substrate(p1);
+  const auto s2 = make_substrate(p2);
+  EXPECT_GT(la::max_abs_diff(s1.b(), s2.b()), 0.5);
+}
+
+}  // namespace
+}  // namespace pmtbr::circuit

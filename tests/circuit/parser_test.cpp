@@ -1,0 +1,130 @@
+// Netlist text parser tests: value suffixes, card forms, node naming,
+// mutual resolution, and error reporting.
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+#include "circuit/parser.hpp"
+
+namespace pmtbr::circuit {
+namespace {
+
+using la::cd;
+
+TEST(ParseValue, PlainNumbers) {
+  EXPECT_DOUBLE_EQ(parse_value("4.7"), 4.7);
+  EXPECT_DOUBLE_EQ(parse_value("-2e3"), -2000.0);
+}
+
+TEST(ParseValue, EngineeringSuffixes) {
+  EXPECT_DOUBLE_EQ(parse_value("1.5p"), 1.5e-12);
+  EXPECT_DOUBLE_EQ(parse_value("2n"), 2e-9);
+  EXPECT_DOUBLE_EQ(parse_value("3u"), 3e-6);
+  EXPECT_DOUBLE_EQ(parse_value("4m"), 4e-3);
+  EXPECT_DOUBLE_EQ(parse_value("5k"), 5e3);
+  EXPECT_DOUBLE_EQ(parse_value("6MEG"), 6e6);
+  EXPECT_DOUBLE_EQ(parse_value("7g"), 7e9);
+  EXPECT_DOUBLE_EQ(parse_value("8f"), 8e-15);
+  EXPECT_DOUBLE_EQ(parse_value("9T"), 9e12);
+}
+
+TEST(ParseValue, TrailingUnitsIgnored) {
+  EXPECT_DOUBLE_EQ(parse_value("1kohm"), 1e3);
+  EXPECT_DOUBLE_EQ(parse_value("2pF"), 2e-12);
+}
+
+TEST(ParseValue, Malformed) {
+  EXPECT_THROW(parse_value("abc"), std::invalid_argument);
+  EXPECT_THROW(parse_value("1.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_value(""), std::invalid_argument);
+}
+
+TEST(Parser, SimpleRcNetwork) {
+  const auto nl = parse_netlist_string(R"(
+* simple RC
+R1 in out 1k
+C1 out 0 2p
+.port in
+.end
+)");
+  EXPECT_EQ(nl.num_nodes(), 2);
+  EXPECT_EQ(nl.num_ports(), 1);
+  ASSERT_EQ(nl.conductances().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.conductances()[0].value, 1e-3);
+  ASSERT_EQ(nl.capacitors().size(), 1u);
+  EXPECT_DOUBLE_EQ(nl.capacitors()[0].value, 2e-12);
+}
+
+TEST(Parser, GroundAliases) {
+  const auto nl = parse_netlist_string("R1 a gnd 10\nR2 a 0 10\n.port a\n");
+  // Both resistors tie node a to ground: only one non-ground node.
+  EXPECT_EQ(nl.num_nodes(), 1);
+  EXPECT_EQ(nl.conductances().size(), 2u);
+}
+
+TEST(Parser, CaseInsensitiveNodesAndCards) {
+  const auto nl = parse_netlist_string("r1 N1 N2 5\nR2 n1 0 5\nc1 N2 0 1p\n.PORT n2\n");
+  EXPECT_EQ(nl.num_nodes(), 2);
+  EXPECT_EQ(nl.num_ports(), 1);
+}
+
+TEST(Parser, MutualCouplingResolved) {
+  const auto nl = parse_netlist_string(R"(
+L1 a b 4n
+L2 b 0 1n
+K1 L1 L2 0.5
+C1 a 0 1p
+C2 b 0 1p
+.port a
+)");
+  ASSERT_EQ(nl.mutuals().size(), 1u);
+  // M = k * sqrt(L1*L2) = 0.5 * 2e-9.
+  EXPECT_NEAR(nl.mutuals()[0].m, 1e-9, 1e-18);
+}
+
+TEST(Parser, ParsedCircuitAssemblesAndMatchesAnalytic) {
+  const auto nl = parse_netlist_string(R"(
+R1 n1 0 100
+C1 n1 0 1p
+.port n1
+)");
+  const auto sys = assemble_mna(nl);
+  const cd s(0.0, 2.0 * std::numbers::pi * 1e9);
+  const cd z = sys.transfer(s)(0, 0);
+  const cd expected = 100.0 / (1.0 + s * 100.0 * 1e-12);
+  EXPECT_LT(std::abs(z - expected) / std::abs(expected), 1e-10);
+}
+
+TEST(Parser, ErrorsCarryLineNumbers) {
+  try {
+    parse_netlist_string("R1 a 0 10\nbogus card here\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Parser, RejectsBadCards) {
+  EXPECT_THROW(parse_netlist_string("R1 a 0\n"), std::invalid_argument);          // missing value
+  EXPECT_THROW(parse_netlist_string("K1 L1 L2 0.5\n"), std::invalid_argument);    // unknown L
+  EXPECT_THROW(parse_netlist_string("K1 L1 L1 1.5\n"), std::invalid_argument);    // |k| >= 1
+  EXPECT_THROW(parse_netlist_string(".port 0\n"), std::invalid_argument);         // ground port
+  EXPECT_THROW(parse_netlist_string(".weird x\n"), std::invalid_argument);        // directive
+  EXPECT_THROW(parse_netlist_string("R1 a a 5\n"), std::invalid_argument);        // same node
+  EXPECT_THROW(parse_netlist_string(".end\nR1 a 0 5\n"), std::invalid_argument);  // after .end
+  EXPECT_THROW(parse_netlist_string("L1 a 0 1n\nL1 b 0 1n\n"), std::invalid_argument);  // dup L
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const auto nl = parse_netlist_string(R"(
+* full line comment
+; another comment style
+
+R1 a 0 50 * trailing comment
+.port a
+)");
+  EXPECT_EQ(nl.conductances().size(), 1u);
+}
+
+}  // namespace
+}  // namespace pmtbr::circuit

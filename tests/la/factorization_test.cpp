@@ -1,0 +1,215 @@
+// Cholesky, QR, SVD, and symmetric-eigen tests: known cases plus randomized
+// reconstruction properties.
+#include <gtest/gtest.h>
+
+#include "la/cholesky.hpp"
+#include "la/eig_sym.hpp"
+#include "la/ops.hpp"
+#include "la/qr.hpp"
+#include "la/svd.hpp"
+#include "helpers.hpp"
+
+namespace pmtbr::la {
+namespace {
+
+// --- Cholesky ---------------------------------------------------------------
+
+TEST(Cholesky, Known2x2) {
+  MatD a{{4, 2}, {2, 5}};
+  const MatD l = cholesky(a);
+  EXPECT_LT(max_abs_diff(matmul(l, transpose(l)), a), 1e-12);
+  EXPECT_DOUBLE_EQ(l(0, 1), 0.0);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  MatD a{{1, 2}, {2, 1}};
+  EXPECT_THROW(cholesky(a), std::runtime_error);
+}
+
+TEST(Cholesky, PsdToleratesSemidefinite) {
+  // Rank-1 PSD matrix.
+  MatD a{{1, 1}, {1, 1}};
+  const MatD l = cholesky_psd(a);
+  EXPECT_LT(max_abs_diff(matmul(l, transpose(l)), a), 1e-10);
+}
+
+TEST(Cholesky, RandomSpdReconstruction) {
+  Rng rng(11);
+  const MatD a = testing::random_spd(12, rng);
+  const MatD l = cholesky(a);
+  EXPECT_LT(max_abs_diff(matmul(l, transpose(l)), a), 1e-9 * norm_inf(a));
+}
+
+// --- QR ----------------------------------------------------------------------
+
+TEST(Qr, ThinReconstruction) {
+  Rng rng(12);
+  const MatD a = testing::random_matrix(10, 4, rng);
+  const auto f = qr(a);
+  EXPECT_EQ(f.q.cols(), 4);
+  EXPECT_LT(testing::orthonormality_defect(f.q), 1e-12);
+  EXPECT_LT(max_abs_diff(matmul(f.q, f.r), a), 1e-11);
+}
+
+TEST(Qr, WideMatrix) {
+  Rng rng(13);
+  const MatD a = testing::random_matrix(3, 8, rng);
+  const auto f = qr(a);
+  EXPECT_EQ(f.q.cols(), 3);
+  EXPECT_LT(max_abs_diff(matmul(f.q, f.r), a), 1e-11);
+}
+
+TEST(Qr, PivotedDetectsRank) {
+  Rng rng(14);
+  const MatD g = testing::random_matrix(10, 3, rng);
+  const MatD a = matmul(g, transpose(g));  // rank 3 in 10x10
+  const auto f = qr_pivoted(a);
+  EXPECT_EQ(f.rank, 3);
+}
+
+TEST(Qr, PivotedReconstructsWithPermutation) {
+  Rng rng(15);
+  const MatD a = testing::random_matrix(6, 5, rng);
+  const auto f = qr_pivoted(a);
+  const MatD qr_prod = matmul(f.q, f.r);
+  // Column j of Q*R equals column perm[j] of A.
+  for (index j = 0; j < a.cols(); ++j)
+    for (index i = 0; i < a.rows(); ++i)
+      EXPECT_NEAR(qr_prod(i, j), a(i, f.perm[static_cast<std::size_t>(j)]), 1e-11);
+}
+
+TEST(Qr, OrthBasisSpansColumnSpace) {
+  Rng rng(16);
+  const MatD g = testing::random_matrix(8, 2, rng);
+  MatD a(8, 4);  // two independent + two dependent columns
+  for (index i = 0; i < 8; ++i) {
+    a(i, 0) = g(i, 0);
+    a(i, 1) = g(i, 1);
+    a(i, 2) = g(i, 0) + g(i, 1);
+    a(i, 3) = 2.0 * g(i, 0) - g(i, 1);
+  }
+  const MatD q = orth(a);
+  EXPECT_EQ(q.cols(), 2);
+  EXPECT_LT(testing::orthonormality_defect(q), 1e-12);
+}
+
+TEST(Qr, ComplexThin) {
+  Rng rng(17);
+  const MatC a = testing::random_complex_matrix(7, 3, rng);
+  const auto f = qr(a);
+  const MatC prod = matmul(f.q, f.r);
+  EXPECT_LT(max_abs_diff(prod, a), 1e-11);
+  const MatC g = matmul(adjoint(f.q), f.q);
+  EXPECT_LT(max_abs_diff(g, MatC::identity(3)), 1e-12);
+}
+
+// --- SVD ----------------------------------------------------------------------
+
+TEST(Svd, KnownDiagonal) {
+  MatD a{{3, 0}, {0, -2}};
+  const auto f = svd(a);
+  ASSERT_EQ(f.s.size(), 2u);
+  EXPECT_NEAR(f.s[0], 3.0, 1e-12);
+  EXPECT_NEAR(f.s[1], 2.0, 1e-12);
+}
+
+TEST(Svd, ReconstructionTall) {
+  Rng rng(18);
+  const MatD a = testing::random_matrix(12, 5, rng);
+  const auto f = svd(a);
+  MatD us(12, 5);
+  for (index i = 0; i < 12; ++i)
+    for (index j = 0; j < 5; ++j) us(i, j) = f.u(i, j) * f.s[static_cast<std::size_t>(j)];
+  EXPECT_LT(max_abs_diff(matmul(us, transpose(f.v)), a), 1e-10);
+  EXPECT_LT(testing::orthonormality_defect(f.u), 1e-11);
+  EXPECT_LT(testing::orthonormality_defect(f.v), 1e-11);
+}
+
+TEST(Svd, ReconstructionWide) {
+  Rng rng(19);
+  const MatD a = testing::random_matrix(4, 9, rng);
+  const auto f = svd(a);
+  MatD us(4, 4);
+  for (index i = 0; i < 4; ++i)
+    for (index j = 0; j < 4; ++j) us(i, j) = f.u(i, j) * f.s[static_cast<std::size_t>(j)];
+  EXPECT_LT(max_abs_diff(matmul(us, transpose(f.v)), a), 1e-10);
+}
+
+TEST(Svd, SingularValuesDescending) {
+  Rng rng(20);
+  const MatD a = testing::random_matrix(15, 8, rng);
+  const auto s = singular_values(a);
+  for (std::size_t i = 1; i < s.size(); ++i) EXPECT_GE(s[i - 1], s[i]);
+}
+
+TEST(Svd, RankDeficientTailIsZero) {
+  Rng rng(21);
+  const MatD g = testing::random_matrix(10, 3, rng);
+  const MatD a = matmul(g, transpose(g));
+  const auto s = singular_values(a);
+  for (std::size_t i = 3; i < s.size(); ++i) EXPECT_LT(s[i], 1e-10 * s[0]);
+}
+
+TEST(Svd, HighRelativeAccuracyOnGradedMatrix) {
+  // Diagonal spanning 12 orders of magnitude: one-sided Jacobi should get
+  // every singular value to high *relative* accuracy.
+  const index n = 6;
+  MatD a(n, n);
+  for (index i = 0; i < n; ++i) a(i, i) = std::pow(10.0, -2.0 * static_cast<double>(i));
+  const auto s = singular_values(a);
+  for (index i = 0; i < n; ++i)
+    EXPECT_NEAR(s[static_cast<std::size_t>(i)] / a(i, i), 1.0, 1e-10);
+}
+
+TEST(Svd, FrobeniusNormIdentity) {
+  Rng rng(22);
+  const MatD a = testing::random_matrix(9, 6, rng);
+  const auto s = singular_values(a);
+  double sum = 0;
+  for (double x : s) sum += x * x;
+  EXPECT_NEAR(std::sqrt(sum), norm_fro(a), 1e-10);
+}
+
+// --- symmetric eigensolver -----------------------------------------------------
+
+TEST(EigSym, Known2x2) {
+  MatD a{{2, 1}, {1, 2}};
+  const auto e = eig_sym(a);
+  EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(e.values[1], 1.0, 1e-12);
+}
+
+TEST(EigSym, ReconstructsRandomSymmetric) {
+  Rng rng(23);
+  MatD a = testing::random_matrix(10, 10, rng);
+  a += transpose(a);
+  const auto e = eig_sym(a);
+  MatD vl(10, 10);
+  for (index i = 0; i < 10; ++i)
+    for (index j = 0; j < 10; ++j) vl(i, j) = e.vectors(i, j) * e.values[static_cast<std::size_t>(j)];
+  EXPECT_LT(max_abs_diff(matmul(vl, transpose(e.vectors)), a), 1e-9);
+  EXPECT_LT(testing::orthonormality_defect(e.vectors), 1e-11);
+}
+
+TEST(EigSym, PsdFactorReconstructs) {
+  Rng rng(24);
+  const MatD g = testing::random_matrix(8, 3, rng);
+  const MatD a = matmul(g, transpose(g));
+  const MatD l = psd_factor(a);
+  EXPECT_EQ(l.cols(), 3);  // rank revealed
+  EXPECT_LT(max_abs_diff(matmul(l, transpose(l)), a), 1e-9);
+}
+
+TEST(EigSym, TraceMatchesEigenvalueSum) {
+  Rng rng(25);
+  MatD a = testing::random_matrix(7, 7, rng);
+  a += transpose(a);
+  const auto e = eig_sym(a);
+  double trace = 0, sum = 0;
+  for (index i = 0; i < 7; ++i) trace += a(i, i);
+  for (double v : e.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-10);
+}
+
+}  // namespace
+}  // namespace pmtbr::la

@@ -1,0 +1,94 @@
+#include "la/lu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/ops.hpp"
+#include "helpers.hpp"
+
+namespace pmtbr::la {
+namespace {
+
+TEST(Lu, SolvesKnownSystem) {
+  MatD a{{2, 1}, {1, 3}};
+  const LuD lu(a);
+  const auto x = lu.solve(std::vector<double>{5, 10});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, PivotsOnZeroDiagonal) {
+  MatD a{{0, 1}, {1, 0}};
+  const LuD lu(a);
+  const auto x = lu.solve(std::vector<double>{2, 3});
+  EXPECT_NEAR(x[0], 3.0, 1e-14);
+  EXPECT_NEAR(x[1], 2.0, 1e-14);
+}
+
+TEST(Lu, SingularThrows) {
+  MatD a{{1, 2}, {2, 4}};
+  EXPECT_THROW(LuD{a}, std::runtime_error);
+}
+
+TEST(Lu, InverseTimesSelfIsIdentity) {
+  Rng rng(5);
+  const MatD a = testing::random_matrix(8, 8, rng);
+  const LuD lu(a);
+  const MatD prod = matmul(a, lu.inverse());
+  EXPECT_LT(max_abs_diff(prod, MatD::identity(8)), 1e-10);
+}
+
+TEST(Lu, TransposeSolve) {
+  Rng rng(6);
+  const MatD a = testing::random_matrix(7, 7, rng);
+  const LuD lu(a);
+  const auto b = rng.normal_vec(7);
+  const auto x = lu.solve_transpose(b);
+  const auto back = matvec(transpose(a), x);
+  for (std::size_t i = 0; i < 7; ++i) EXPECT_NEAR(back[i], b[i], 1e-10);
+}
+
+TEST(Lu, ComplexSolve) {
+  Rng rng(7);
+  const MatC a = testing::random_complex_matrix(6, 6, rng);
+  const LuC lu(a);
+  std::vector<cd> b(6);
+  for (auto& v : b) v = cd(rng.normal(), rng.normal());
+  const auto x = lu.solve(b);
+  const auto back = matvec(a, x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(back[i].real(), b[i].real(), 1e-10);
+    EXPECT_NEAR(back[i].imag(), b[i].imag(), 1e-10);
+  }
+}
+
+TEST(Lu, LogAbsDetDiagonal) {
+  MatD a{{2, 0}, {0, 8}};
+  const LuD lu(a);
+  EXPECT_NEAR(lu.log_abs_det(), std::log(16.0), 1e-12);
+}
+
+TEST(Lu, MatrixRhs) {
+  Rng rng(8);
+  const MatD a = testing::random_matrix(5, 5, rng);
+  const MatD b = testing::random_matrix(5, 3, rng);
+  const MatD x = solve(a, b);
+  EXPECT_LT(max_abs_diff(matmul(a, x), b), 1e-10);
+}
+
+// Property sweep: residual stays small across sizes.
+class LuSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(LuSizes, ResidualSmall) {
+  const index n = GetParam();
+  Rng rng(100 + static_cast<std::uint64_t>(n));
+  const MatD a = testing::random_matrix(n, n, rng);
+  const MatD b = testing::random_matrix(n, 2, rng);
+  const MatD x = LuD(a).solve(b);
+  const double res = max_abs_diff(matmul(a, x), b);
+  EXPECT_LT(res, 1e-9 * std::max(1.0, norm_inf(a)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuSizes, ::testing::Values(1, 2, 3, 5, 10, 20, 50, 100));
+
+}  // namespace
+}  // namespace pmtbr::la

@@ -1,0 +1,155 @@
+#include "la/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/ops.hpp"
+#include "helpers.hpp"
+
+namespace pmtbr::la {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  MatD m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, InitializerList) {
+  MatD m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((MatD{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, Identity) {
+  const MatD i = MatD::identity(3);
+  for (index r = 0; r < 3; ++r)
+    for (index c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Arithmetic) {
+  MatD a{{1, 2}, {3, 4}};
+  MatD b{{5, 6}, {7, 8}};
+  const MatD c = a + b;
+  EXPECT_DOUBLE_EQ(c(0, 0), 6);
+  const MatD d = b - a;
+  EXPECT_DOUBLE_EQ(d(1, 1), 4);
+  const MatD e = a * 2.0;
+  EXPECT_DOUBLE_EQ(e(1, 0), 6);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  MatD a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+}
+
+TEST(Matrix, ColumnsSlice) {
+  MatD a{{1, 2, 3}, {4, 5, 6}};
+  const MatD s = a.columns(1, 3);
+  EXPECT_EQ(s.cols(), 2);
+  EXPECT_DOUBLE_EQ(s(1, 0), 5);
+  EXPECT_DOUBLE_EQ(s(0, 1), 3);
+}
+
+TEST(Matrix, ColRoundTrip) {
+  MatD a(3, 2);
+  a.set_col(1, {7, 8, 9});
+  const auto c = a.col(1);
+  EXPECT_DOUBLE_EQ(c[2], 9);
+  EXPECT_DOUBLE_EQ(a(0, 1), 7);
+}
+
+TEST(Ops, MatmulKnown) {
+  MatD a{{1, 2}, {3, 4}};
+  MatD b{{5, 6}, {7, 8}};
+  const MatD c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(Ops, MatmulAssociativityRandom) {
+  Rng rng(42);
+  const MatD a = testing::random_matrix(4, 5, rng);
+  const MatD b = testing::random_matrix(5, 3, rng);
+  const MatD c = testing::random_matrix(3, 6, rng);
+  const MatD left = matmul(matmul(a, b), c);
+  const MatD right = matmul(a, matmul(b, c));
+  EXPECT_LT(max_abs_diff(left, right), 1e-12);
+}
+
+TEST(Ops, TransposeInvolution) {
+  Rng rng(1);
+  const MatD a = testing::random_matrix(3, 7, rng);
+  EXPECT_LT(max_abs_diff(transpose(transpose(a)), a), 1e-15);
+}
+
+TEST(Ops, AdjointConjugates) {
+  MatC a(1, 1);
+  a(0, 0) = cd(1.0, 2.0);
+  const MatC h = adjoint(a);
+  EXPECT_DOUBLE_EQ(h(0, 0).real(), 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 0).imag(), -2.0);
+}
+
+TEST(Ops, NormFro) {
+  MatD a{{3, 0}, {0, 4}};
+  EXPECT_DOUBLE_EQ(norm_fro(a), 5.0);
+}
+
+TEST(Ops, NormInfIsMaxRowSum) {
+  MatD a{{1, -2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(norm_inf(a), 7.0);
+}
+
+TEST(Ops, DotConjugatesComplex) {
+  std::vector<cd> x{cd(0, 1)}, y{cd(0, 1)};
+  const cd d = dot(x, y);
+  EXPECT_DOUBLE_EQ(d.real(), 1.0);
+  EXPECT_DOUBLE_EQ(d.imag(), 0.0);
+}
+
+TEST(Ops, RealifyColumnsLayout) {
+  MatC z(2, 1);
+  z(0, 0) = cd(1, 2);
+  z(1, 0) = cd(3, 4);
+  const MatD r = realify_columns(z);
+  EXPECT_EQ(r.cols(), 2);
+  EXPECT_DOUBLE_EQ(r(0, 0), 1);
+  EXPECT_DOUBLE_EQ(r(0, 1), 2);
+  EXPECT_DOUBLE_EQ(r(1, 0), 3);
+  EXPECT_DOUBLE_EQ(r(1, 1), 4);
+}
+
+TEST(Ops, HcatShapes) {
+  Rng rng(2);
+  const MatD a = testing::random_matrix(3, 2, rng);
+  const MatD b = testing::random_matrix(3, 4, rng);
+  const MatD c = hcat(a, b);
+  EXPECT_EQ(c.cols(), 6);
+  EXPECT_DOUBLE_EQ(c(1, 1), a(1, 1));
+  EXPECT_DOUBLE_EQ(c(2, 5), b(2, 3));
+}
+
+TEST(Ops, MatvecMatchesMatmul) {
+  Rng rng(3);
+  const MatD a = testing::random_matrix(4, 4, rng);
+  const auto x = rng.normal_vec(4);
+  const auto y = matvec(a, x);
+  MatD xm(4, 1);
+  xm.set_col(0, x);
+  const MatD ym = matmul(a, xm);
+  for (index i = 0; i < 4; ++i)
+    EXPECT_NEAR(y[static_cast<std::size_t>(i)], ym(i, 0), 1e-14);
+}
+
+}  // namespace
+}  // namespace pmtbr::la

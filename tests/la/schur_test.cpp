@@ -1,0 +1,112 @@
+#include "la/schur.hpp"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "la/ops.hpp"
+#include "helpers.hpp"
+
+namespace pmtbr::la {
+namespace {
+
+double unitary_defect(const MatC& q) {
+  const MatC g = matmul(adjoint(q), q);
+  return max_abs_diff(g, MatC::identity(q.cols()));
+}
+
+TEST(Schur, ReconstructsRandomComplex) {
+  Rng rng(31);
+  const MatC a = testing::random_complex_matrix(8, 8, rng);
+  const auto f = schur(a);
+  EXPECT_LT(unitary_defect(f.q), 1e-10);
+  const MatC recon = matmul(f.q, matmul(f.t, adjoint(f.q)));
+  EXPECT_LT(max_abs_diff(recon, a), 1e-9 * std::max(1.0, norm_fro(a)));
+  // T strictly upper triangular below diagonal.
+  for (index i = 0; i < 8; ++i)
+    for (index j = 0; j < i; ++j) EXPECT_EQ(f.t(i, j), cd{0});
+}
+
+TEST(Schur, RealMatrixComplexPairs) {
+  // Rotation-like matrix has eigenvalues cos±i sin.
+  MatD a{{0, -1}, {1, 0}};
+  const auto w = eigenvalues(a);
+  ASSERT_EQ(w.size(), 2u);
+  EXPECT_NEAR(std::abs(w[0]), 1.0, 1e-12);
+  EXPECT_NEAR(w[0].real(), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(w[0].imag()), 1.0, 1e-12);
+}
+
+TEST(Schur, TriangularInputUnchangedEigenvalues) {
+  MatC a(3, 3);
+  a(0, 0) = cd(1, 0);
+  a(1, 1) = cd(2, 0);
+  a(2, 2) = cd(3, 0);
+  a(0, 2) = cd(5, 1);
+  const auto w = eigenvalues(a);
+  EXPECT_NEAR(w[0].real(), 3.0, 1e-12);
+  EXPECT_NEAR(w[2].real(), 1.0, 1e-12);
+}
+
+TEST(Schur, EigenvaluesOfSymmetricMatchEigSym) {
+  Rng rng(32);
+  MatD a = testing::random_matrix(6, 6, rng);
+  a += transpose(a);
+  const auto w = eigenvalues(a);
+  std::vector<double> re;
+  for (const auto& v : w) {
+    EXPECT_NEAR(v.imag(), 0.0, 1e-9);
+    re.push_back(v.real());
+  }
+  std::sort(re.begin(), re.end());
+  // Compare with trace (cheap independent invariant).
+  double trace = 0, sum = 0;
+  for (index i = 0; i < 6; ++i) trace += a(i, i);
+  for (double v : re) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(Eig, RightEigenvectorsSatisfyDefinition) {
+  Rng rng(33);
+  const MatD a = testing::random_matrix(7, 7, rng);
+  const auto e = eig(a);
+  const MatC ac = to_complex(a);
+  for (index k = 0; k < 7; ++k) {
+    std::vector<cd> v(7);
+    for (index i = 0; i < 7; ++i) v[static_cast<std::size_t>(i)] = e.vectors(i, k);
+    const auto av = matvec(ac, v);
+    double worst = 0;
+    for (index i = 0; i < 7; ++i)
+      worst = std::max(worst,
+                       std::abs(av[static_cast<std::size_t>(i)] -
+                                e.values[static_cast<std::size_t>(k)] * v[static_cast<std::size_t>(i)]));
+    EXPECT_LT(worst, 1e-7 * std::max(1.0, std::abs(e.values[static_cast<std::size_t>(k)])));
+  }
+}
+
+TEST(Eig, SortedByMagnitude) {
+  Rng rng(34);
+  const MatD a = testing::random_matrix(9, 9, rng);
+  const auto e = eig(a);
+  for (std::size_t i = 1; i < e.values.size(); ++i)
+    EXPECT_GE(std::abs(e.values[i - 1]), std::abs(e.values[i]) - 1e-14);
+}
+
+class SchurSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchurSizes, EigenvalueSumEqualsTrace) {
+  const index n = GetParam();
+  Rng rng(300 + static_cast<std::uint64_t>(n));
+  const MatD a = testing::random_matrix(n, n, rng);
+  const auto w = eigenvalues(a);
+  cd sum{};
+  for (const auto& v : w) sum += v;
+  double trace = 0;
+  for (index i = 0; i < n; ++i) trace += a(i, i);
+  EXPECT_NEAR(sum.real(), trace, 1e-8 * std::max(1.0, std::abs(trace)) * n);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SchurSizes, ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace pmtbr::la

@@ -1,0 +1,96 @@
+#include "mor/compressor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "la/ops.hpp"
+#include "la/svd.hpp"
+#include "helpers.hpp"
+
+namespace pmtbr::mor {
+namespace {
+
+using pmtbr::Rng;
+
+TEST(Compressor, MatchesDirectSvdSingularValues) {
+  Rng rng(61);
+  const MatD a = testing::random_matrix(20, 8, rng);
+  IncrementalCompressor comp(20);
+  comp.add_columns(a);
+  const auto s_inc = comp.singular_values();
+  const auto s_dir = la::singular_values(a);
+  ASSERT_EQ(s_inc.size(), s_dir.size());
+  for (std::size_t i = 0; i < s_dir.size(); ++i)
+    EXPECT_NEAR(s_inc[i], s_dir[i], 1e-10 * (1.0 + s_dir[0]));
+}
+
+TEST(Compressor, IncrementalEqualsBatch) {
+  Rng rng(62);
+  const MatD a = testing::random_matrix(15, 10, rng);
+  IncrementalCompressor batch(15), incr(15);
+  batch.add_columns(a);
+  for (la::index j = 0; j < a.cols(); ++j) incr.add_columns(a.columns(j, j + 1));
+  const auto sb = batch.singular_values();
+  const auto si = incr.singular_values();
+  ASSERT_EQ(sb.size(), si.size());
+  for (std::size_t i = 0; i < sb.size(); ++i) EXPECT_NEAR(sb[i], si[i], 1e-10 * (1.0 + sb[0]));
+}
+
+TEST(Compressor, DeflatesDependentColumns) {
+  Rng rng(63);
+  const MatD g = testing::random_matrix(12, 3, rng);
+  IncrementalCompressor comp(12);
+  comp.add_columns(g);
+  comp.add_columns(g);  // exact repeats add no rank
+  EXPECT_EQ(comp.rank(), 3);
+  EXPECT_EQ(comp.columns_absorbed(), 6);
+}
+
+TEST(Compressor, BasisIsOrthonormalAndDominant) {
+  Rng rng(64);
+  // Construct a matrix with known dominant direction.
+  MatD a = testing::random_matrix(10, 6, rng);
+  for (la::index i = 0; i < 10; ++i) a(i, 0) *= 100.0;
+  IncrementalCompressor comp(10);
+  comp.add_columns(a);
+  const MatD v = comp.basis(2);
+  EXPECT_EQ(v.cols(), 2);
+  EXPECT_LT(testing::orthonormality_defect(v), 1e-11);
+  // Dominant left singular vector must be captured: ||V^T u1|| ~ 1.
+  const auto f = la::svd(a);
+  double proj = 0;
+  for (la::index j = 0; j < 2; ++j) {
+    double d = 0;
+    for (la::index i = 0; i < 10; ++i) d += v(i, j) * f.u(i, 0);
+    proj += d * d;
+  }
+  EXPECT_NEAR(proj, 1.0, 1e-8);
+}
+
+TEST(Compressor, OrderForToleranceBoundaries) {
+  IncrementalCompressor comp(5);
+  MatD a(5, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1e-3;
+  a(2, 2) = 1e-9;
+  comp.add_columns(a);
+  EXPECT_EQ(comp.order_for_tolerance(1e-1), 1);   // tail 1e-3+1e-9 < 0.1
+  EXPECT_EQ(comp.order_for_tolerance(1e-6), 2);   // need to drop below 1e-6
+  EXPECT_EQ(comp.order_for_tolerance(1e-12), 3);
+}
+
+TEST(Compressor, RejectsBadInput) {
+  IncrementalCompressor comp(4);
+  EXPECT_THROW(comp.add_columns(MatD(3, 1)), std::invalid_argument);
+  EXPECT_THROW(comp.basis(1), std::runtime_error);  // nothing absorbed yet
+}
+
+TEST(Compressor, RankNeverExceedsDimension) {
+  Rng rng(65);
+  IncrementalCompressor comp(4);
+  comp.add_columns(testing::random_matrix(4, 10, rng));
+  EXPECT_LE(comp.rank(), 4);
+  EXPECT_EQ(comp.columns_absorbed(), 10);
+}
+
+}  // namespace
+}  // namespace pmtbr::mor

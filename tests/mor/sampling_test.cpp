@@ -1,0 +1,94 @@
+#include "mor/sampling.hpp"
+
+#include <cmath>
+#include <gtest/gtest.h>
+#include <numbers>
+
+namespace pmtbr::mor {
+namespace {
+
+TEST(GaussLegendre, WeightsSumToTwo) {
+  for (const index n : {1, 2, 5, 10, 20}) {
+    std::vector<double> x, w;
+    gauss_legendre(n, x, w);
+    double sum = 0;
+    for (double v : w) sum += v;
+    EXPECT_NEAR(sum, 2.0, 1e-12) << "n=" << n;
+  }
+}
+
+TEST(GaussLegendre, IntegratesPolynomialsExactly) {
+  // n-point GL is exact through degree 2n-1: check x^4 with n=3.
+  std::vector<double> x, w;
+  gauss_legendre(3, x, w);
+  double integral = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) integral += w[i] * std::pow(x[i], 4);
+  EXPECT_NEAR(integral, 2.0 / 5.0, 1e-13);
+}
+
+TEST(GaussLegendre, NodesSymmetric) {
+  std::vector<double> x, w;
+  gauss_legendre(4, x, w);
+  std::sort(x.begin(), x.end());
+  EXPECT_NEAR(x[0], -x[3], 1e-13);
+  EXPECT_NEAR(x[1], -x[2], 1e-13);
+}
+
+TEST(SampleBand, UniformCoversBandWithTotalWeight) {
+  const Band band{1e6, 1e9};
+  const auto s = sample_band(band, 10, SamplingScheme::kUniform);
+  ASSERT_EQ(s.size(), 10u);
+  double wsum = 0;
+  for (const auto& fs : s) {
+    EXPECT_GE(fs.s.imag(), 2.0 * std::numbers::pi * band.f_lo);
+    EXPECT_LE(fs.s.imag(), 2.0 * std::numbers::pi * band.f_hi);
+    EXPECT_DOUBLE_EQ(fs.s.real(), 0.0);
+    wsum += fs.weight;
+  }
+  // Total weight = band width in rad/s.
+  EXPECT_NEAR(wsum, 2.0 * std::numbers::pi * (band.f_hi - band.f_lo), 1e-3 * wsum);
+}
+
+TEST(SampleBand, LogWeightsApproximateBandWidth) {
+  const Band band{1e3, 1e9};
+  const auto s = sample_band(band, 200, SamplingScheme::kLogarithmic);
+  double wsum = 0;
+  for (const auto& fs : s) wsum += fs.weight;
+  const double expected = 2.0 * std::numbers::pi * (band.f_hi - band.f_lo);
+  EXPECT_NEAR(wsum / expected, 1.0, 0.05);
+}
+
+TEST(SampleBand, GaussLegendreWeightsExact) {
+  const Band band{0.0, 1e9};
+  const auto s = sample_band(band, 8, SamplingScheme::kGaussLegendre);
+  double wsum = 0;
+  for (const auto& fs : s) wsum += fs.weight;
+  EXPECT_NEAR(wsum, 2.0 * std::numbers::pi * 1e9, 1.0);
+}
+
+TEST(SampleBand, RejectsBadBand) {
+  EXPECT_THROW(sample_band({1e9, 1e6}, 4, SamplingScheme::kUniform), std::invalid_argument);
+  EXPECT_THROW(sample_band({0.0, 1e9}, 0, SamplingScheme::kUniform), std::invalid_argument);
+}
+
+TEST(SampleBands, AllocatesProportionally) {
+  const std::vector<Band> bands{{0.0, 1e9}, {3e9, 4e9}};  // equal widths
+  const auto s = sample_bands(bands, 10, SamplingScheme::kUniform);
+  EXPECT_EQ(s.size(), 10u);
+  index in_first = 0;
+  for (const auto& fs : s)
+    if (fs.s.imag() <= 2.0 * std::numbers::pi * 1e9) ++in_first;
+  EXPECT_EQ(in_first, 5);
+}
+
+TEST(SampleBands, AtLeastOnePerBand) {
+  const std::vector<Band> bands{{0.0, 1e12}, {2e12, 2.000001e12}};  // tiny 2nd band
+  const auto s = sample_bands(bands, 5, SamplingScheme::kUniform);
+  index in_second = 0;
+  for (const auto& fs : s)
+    if (fs.s.imag() > 2.0 * std::numbers::pi * 1.5e12) ++in_second;
+  EXPECT_GE(in_second, 1);
+}
+
+}  // namespace
+}  // namespace pmtbr::mor

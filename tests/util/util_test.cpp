@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+
+namespace pmtbr {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 5; ++i)
+    if (a.uniform() != b.uniform()) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniform(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, PermutationIsValid) {
+  Rng rng(4);
+  const auto p = rng.permutation(20);
+  std::vector<char> seen(20, 0);
+  for (auto v : p) {
+    ASSERT_LT(v, 20u);
+    EXPECT_FALSE(seen[v]);
+    seen[v] = 1;
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(5);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  w.row(std::vector<double>{1.0, 2.5});
+  EXPECT_EQ(os.str(), "a,b\n1,2.5\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(Csv, RejectsWrongWidth) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.row(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Csv, FormatDoubleRoundTrips) {
+  const double v = 1.234567890123e-7;
+  EXPECT_NEAR(std::stod(format_double(v)), v, 1e-20);
+}
+
+TEST(Cli, ParsesOptionsAndPositional) {
+  const char* argv[] = {"prog", "--alpha=2.5", "--flag", "pos1", "--n=7"};
+  ArgParser args(5, argv);
+  EXPECT_TRUE(args.has("flag"));
+  EXPECT_FALSE(args.has("missing"));
+  EXPECT_DOUBLE_EQ(args.get_double("alpha", 0.0), 2.5);
+  EXPECT_EQ(args.get_int("n", 0), 7);
+  EXPECT_EQ(args.get("none", "d"), "d");
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "pos1");
+}
+
+}  // namespace
+}  // namespace pmtbr
