@@ -30,7 +30,7 @@ int main() {
   spec.dither_fraction = 0.1;
   const double t_end = 3e-8;
   std::vector<double> phases;
-  for (index k = 0; k < 16; ++k) phases.push_back((k % 3) * 1.1e-9);
+  for (index k = 0; k < 16; ++k) phases.push_back(static_cast<double>(k % 3) * 1.1e-9);
   Rng rng(606);
   const auto bank = signal::make_square_bank(spec, t_end, phases, rng);
   const auto samples = signal::sample_waveforms(bank, t_end, 300);

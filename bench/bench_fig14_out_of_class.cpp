@@ -30,7 +30,7 @@ int main() {
 
   // Trained class (as Fig. 13): four phase groups.
   std::vector<double> phases_in;
-  for (index k = 0; k < 32; ++k) phases_in.push_back((k % 4) * 1.3e-9);
+  for (index k = 0; k < 32; ++k) phases_in.push_back(static_cast<double>(k % 4) * 1.3e-9);
   Rng rng_train(4242);
   const auto bank_train = signal::make_square_bank(spec, t_end, phases_in, rng_train);
   const auto samples = signal::sample_waveforms(bank_train, t_end, 400);

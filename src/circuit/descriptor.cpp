@@ -21,6 +21,10 @@ DescriptorSystem::DescriptorSystem(sparse::CsrD e, sparse::CsrD a, MatD b, MatD 
   PMTBR_REQUIRE(e_.rows() == a_.rows(), "E, A size mismatch");
   PMTBR_REQUIRE(b_.rows() == e_.rows(), "B row count must equal state count");
   PMTBR_REQUIRE(c_.cols() == e_.rows(), "C column count must equal state count");
+  PMTBR_CHECK_FINITE(e_, "descriptor E matrix");
+  PMTBR_CHECK_FINITE(a_, "descriptor A matrix");
+  PMTBR_CHECK_FINITE(b_, "descriptor B matrix");
+  PMTBR_CHECK_FINITE(c_, "descriptor C matrix");
 }
 
 DescriptorSystem DescriptorSystem::with_ports(const std::vector<index>& cols,

@@ -9,6 +9,7 @@ namespace pmtbr::la {
 
 EigSymResult eig_sym(const MatD& a_in) {
   PMTBR_REQUIRE(a_in.rows() == a_in.cols(), "eig_sym requires square matrix");
+  PMTBR_CHECK_FINITE(a_in, "eig_sym input matrix");
   const index n = a_in.rows();
   MatD a(n, n);
   for (index i = 0; i < n; ++i)

@@ -8,6 +8,7 @@ namespace pmtbr::la {
 template <typename T>
 Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
   PMTBR_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
+  PMTBR_CHECK_FINITE(lu_, "LU input matrix");
   const index n = lu_.rows();
   piv_.resize(static_cast<std::size_t>(n));
   for (index k = 0; k < n; ++k) {

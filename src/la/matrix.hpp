@@ -6,9 +6,11 @@
 // the type stays stable while the algorithm library grows.
 #pragma once
 
+#include <cmath>
 #include <complex>
 #include <cstddef>
 #include <initializer_list>
+#include <limits>
 #include <vector>
 
 #include "util/check.hpp"
@@ -18,15 +20,30 @@ namespace pmtbr::la {
 using cd = std::complex<double>;
 using index = std::ptrdiff_t;
 
+namespace detail {
+
+/// Validates a (rows, cols) pair and returns the element count in
+/// std::size_t. Ordered so the product is never formed in `index`: huge
+/// but individually-valid dimensions would overflow ptrdiff_t (UB) before
+/// any PMTBR_REQUIRE could fire.
+inline std::size_t checked_element_count(index rows, index cols) {
+  PMTBR_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
+  const auto r = static_cast<std::size_t>(rows);
+  const auto c = static_cast<std::size_t>(cols);
+  PMTBR_REQUIRE(c == 0 || r <= static_cast<std::size_t>(std::numeric_limits<index>::max()) / c,
+                "matrix element count overflows index");
+  return r * c;
+}
+
+}  // namespace detail
+
 template <typename T>
 class Matrix {
  public:
   Matrix() = default;
 
   Matrix(index rows, index cols, T fill = T{})
-      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
-    PMTBR_REQUIRE(rows >= 0 && cols >= 0, "matrix dimensions must be nonnegative");
-  }
+      : rows_(rows), cols_(cols), data_(detail::checked_element_count(rows, cols), fill) {}
 
   /// Row-major initializer: Matrix<double>{{1,2},{3,4}}.
   Matrix(std::initializer_list<std::initializer_list<T>> rows) {
@@ -50,16 +67,26 @@ class Matrix {
   bool empty() const { return rows_ == 0 || cols_ == 0; }
   std::size_t size() const { return data_.size(); }
 
-  T& operator()(index i, index j) { return data_[static_cast<std::size_t>(i * cols_ + j)]; }
+  T& operator()(index i, index j) {
+    PMTBR_DEBUG_ASSERT(0 <= i && i < rows_ && 0 <= j && j < cols_, "matrix index out of range");
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
   const T& operator()(index i, index j) const {
+    PMTBR_DEBUG_ASSERT(0 <= i && i < rows_ && 0 <= j && j < cols_, "matrix index out of range");
     return data_[static_cast<std::size_t>(i * cols_ + j)];
   }
 
   T* data() { return data_.data(); }
   const T* data() const { return data_.data(); }
 
-  T* row_ptr(index i) { return data_.data() + i * cols_; }
-  const T* row_ptr(index i) const { return data_.data() + i * cols_; }
+  T* row_ptr(index i) {
+    PMTBR_DEBUG_ASSERT(0 <= i && i < rows_, "row index out of range");
+    return data_.data() + i * cols_;
+  }
+  const T* row_ptr(index i) const {
+    PMTBR_DEBUG_ASSERT(0 <= i && i < rows_, "row index out of range");
+    return data_.data() + i * cols_;
+  }
 
   /// Columns [c0, c1) as a new matrix.
   Matrix columns(index c0, index c1) const {
@@ -120,5 +147,26 @@ using MatD = Matrix<double>;
 using MatC = Matrix<cd>;
 using VecD = std::vector<double>;
 using VecC = std::vector<cd>;
+
+// --- finiteness scans (backing PMTBR_CHECK_FINITE, found by ADL) -----------
+
+inline bool is_finite(double x) { return std::isfinite(x); }
+inline bool is_finite(cd x) { return std::isfinite(x.real()) && std::isfinite(x.imag()); }
+
+template <typename T>
+bool is_finite(const Matrix<T>& a) {
+  const T* p = a.data();
+  const std::size_t n = a.size();
+  for (std::size_t k = 0; k < n; ++k)
+    if (!is_finite(p[k])) return false;
+  return true;
+}
+
+template <typename T>
+bool is_finite(const std::vector<T>& v) {
+  for (const auto& x : v)
+    if (!is_finite(x)) return false;
+  return true;
+}
 
 }  // namespace pmtbr::la

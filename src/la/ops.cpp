@@ -8,6 +8,8 @@ namespace pmtbr::la {
 template <typename T>
 Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
   PMTBR_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  PMTBR_CHECK_FINITE(a, "matmul lhs");
+  PMTBR_CHECK_FINITE(b, "matmul rhs");
   Matrix<T> c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop contiguous in row-major storage.
   for (index i = 0; i < a.rows(); ++i) {
@@ -25,6 +27,8 @@ Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
 template <typename T>
 std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x) {
   PMTBR_REQUIRE(a.cols() == static_cast<index>(x.size()), "matvec shape mismatch");
+  PMTBR_CHECK_FINITE(a, "matvec matrix");
+  PMTBR_CHECK_FINITE(x, "matvec vector");
   std::vector<T> y(static_cast<std::size_t>(a.rows()), T{});
   for (index i = 0; i < a.rows(); ++i) {
     const T* ai = a.row_ptr(i);

@@ -125,11 +125,14 @@ QrResult<T> qr_impl(Matrix<T> a, bool pivot, double rel_tol) {
 
 template <typename T>
 QrResult<T> qr(const Matrix<T>& a) {
+  PMTBR_CHECK_FINITE(a, "qr input matrix");
   return qr_impl(a, /*pivot=*/false, 0.0);
 }
 
 template <typename T>
 QrResult<T> qr_pivoted(const Matrix<T>& a, double rel_tol) {
+  PMTBR_REQUIRE(rel_tol >= 0, "qr_pivoted tolerance must be nonnegative");
+  PMTBR_CHECK_FINITE(a, "qr_pivoted input matrix");
   return qr_impl(a, /*pivot=*/true, rel_tol);
 }
 

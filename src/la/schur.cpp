@@ -174,6 +174,7 @@ bool qr_iterate(MatC& h, MatC& q) {
 
 SchurResult schur(const MatC& a_in) {
   PMTBR_REQUIRE(a_in.rows() == a_in.cols(), "schur requires square matrix");
+  PMTBR_CHECK_FINITE(a_in, "schur input matrix");
   const index n = a_in.rows();
   SchurResult out;
   if (n == 0) return out;

@@ -99,6 +99,7 @@ SvdResult svd_tall(const MatD& a, bool want_vectors) {
 
 SvdResult svd(const MatD& a) {
   PMTBR_REQUIRE(!a.empty(), "svd of empty matrix");
+  PMTBR_CHECK_FINITE(a, "svd input matrix");
   if (a.rows() >= a.cols()) return svd_tall(a, true);
   // Wide: factor A^T = U S V^T  =>  A = V S U^T.
   SvdResult t = svd_tall(transpose(a), true);
@@ -111,6 +112,7 @@ SvdResult svd(const MatD& a) {
 
 std::vector<double> singular_values(const MatD& a) {
   PMTBR_REQUIRE(!a.empty(), "svd of empty matrix");
+  PMTBR_CHECK_FINITE(a, "singular_values input matrix");
   if (a.rows() >= a.cols()) return svd_tall(a, false).s;
   return svd_tall(transpose(a), false).s;
 }

@@ -13,6 +13,10 @@ using la::MatD;
 MatD solve_lyapunov(const MatD& a, const MatD& q, const LyapunovOptions& opts) {
   PMTBR_REQUIRE(a.rows() == a.cols(), "A must be square");
   PMTBR_REQUIRE(q.rows() == a.rows() && q.cols() == a.cols(), "Q shape mismatch");
+  PMTBR_REQUIRE(opts.max_iterations > 0, "max_iterations must be positive");
+  PMTBR_REQUIRE(opts.tolerance > 0, "tolerance must be positive");
+  PMTBR_CHECK_FINITE(a, "lyapunov A matrix");
+  PMTBR_CHECK_FINITE(q, "lyapunov Q matrix");
   const index n = a.rows();
 
   MatD ak = a;
@@ -57,14 +61,19 @@ MatD solve_lyapunov(const MatD& a, const MatD& q, const LyapunovOptions& opts) {
 }
 
 MatD controllability_gramian(const MatD& a, const MatD& b, const LyapunovOptions& opts) {
+  PMTBR_REQUIRE(b.rows() == a.rows(), "B row count must match A");
   return solve_lyapunov(a, la::matmul(b, la::transpose(b)), opts);
 }
 
 MatD observability_gramian(const MatD& a, const MatD& c, const LyapunovOptions& opts) {
+  PMTBR_REQUIRE(c.cols() == a.rows(), "C column count must match A");
   return solve_lyapunov(la::transpose(a), la::matmul(la::transpose(c), c), opts);
 }
 
 double lyapunov_residual(const MatD& a, const MatD& x, const MatD& q) {
+  PMTBR_REQUIRE(a.rows() == a.cols(), "A must be square");
+  PMTBR_REQUIRE(x.rows() == a.rows() && x.cols() == a.rows(), "X shape mismatch");
+  PMTBR_REQUIRE(q.rows() == a.rows() && q.cols() == a.rows(), "Q shape mismatch");
   const MatD ax = la::matmul(a, x);
   MatD r = ax + la::transpose(ax) + q;
   return la::norm_fro(r);

@@ -13,6 +13,11 @@ using la::MatD;
 MatD solve_sylvester(const MatD& a, const MatD& b, const MatD& c, const SylvesterOptions& opts) {
   PMTBR_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols(), "A, B must be square");
   PMTBR_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(), "C shape mismatch");
+  PMTBR_REQUIRE(opts.max_iterations > 0, "max_iterations must be positive");
+  PMTBR_REQUIRE(opts.tolerance > 0, "tolerance must be positive");
+  PMTBR_CHECK_FINITE(a, "sylvester A matrix");
+  PMTBR_CHECK_FINITE(b, "sylvester B matrix");
+  PMTBR_CHECK_FINITE(c, "sylvester C matrix");
   const index n = a.rows(), m = b.rows();
 
   // Sign iteration on Z = [[A, C], [0, -B]]; sign(Z) = [[-I, 2X], [0, I]].
@@ -61,6 +66,9 @@ MatD cross_gramian(const MatD& a, const MatD& b, const MatD& c, const SylvesterO
 }
 
 double sylvester_residual(const MatD& a, const MatD& b, const MatD& c, const MatD& x) {
+  PMTBR_REQUIRE(a.rows() == a.cols() && b.rows() == b.cols(), "A, B must be square");
+  PMTBR_REQUIRE(x.rows() == a.rows() && x.cols() == b.rows(), "X shape mismatch");
+  PMTBR_REQUIRE(c.rows() == a.rows() && c.cols() == b.rows(), "C shape mismatch");
   MatD r = la::matmul(a, x) + la::matmul(x, b) + c;
   return la::norm_fro(r);
 }

@@ -17,6 +17,7 @@ IncrementalCompressor::IncrementalCompressor(index n, double drop_tol)
 
 void IncrementalCompressor::add_columns(const MatD& block) {
   PMTBR_REQUIRE(block.rows() == n_, "block row mismatch");
+  PMTBR_CHECK_FINITE(block, "compressor sample block");
   for (index j = 0; j < block.cols(); ++j) add_column(block.col(j));
 }
 

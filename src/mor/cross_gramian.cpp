@@ -45,6 +45,9 @@ CrossGramianResult cross_gramian_pmtbr(const DescriptorSystem& sys,
                                        const CrossGramianOptions& opts) {
   PMTBR_REQUIRE(sys.num_inputs() == sys.num_outputs(),
                 "cross-Gramian requires #inputs == #outputs");
+  PMTBR_REQUIRE(!opts.bands.empty(), "cross-Gramian needs at least one frequency band");
+  PMTBR_REQUIRE(opts.num_samples >= 1, "cross-Gramian needs at least one sample");
+  PMTBR_REQUIRE(opts.truncation_tol >= 0, "truncation_tol must be nonnegative");
   const auto samples = sample_bands(opts.bands, opts.num_samples, opts.scheme);
 
   // Collect weighted controllability- and observability-side sample blocks.

@@ -31,6 +31,7 @@ std::vector<double> logspace_grid(double f_lo, double f_hi, index count) {
 }
 
 std::vector<MatC> transfer_series(const DescriptorSystem& sys, const std::vector<double>& freqs) {
+  PMTBR_REQUIRE(!freqs.empty(), "empty frequency grid");
   std::vector<MatC> out;
   out.reserve(freqs.size());
   for (const double f : freqs) out.push_back(sys.transfer(cd(0.0, kTwoPi * f)));
@@ -38,6 +39,7 @@ std::vector<MatC> transfer_series(const DescriptorSystem& sys, const std::vector
 }
 
 std::vector<MatC> transfer_series(const DenseSystem& sys, const std::vector<double>& freqs) {
+  PMTBR_REQUIRE(!freqs.empty(), "empty frequency grid");
   std::vector<MatC> out;
   out.reserve(freqs.size());
   for (const double f : freqs) out.push_back(sys.transfer(cd(0.0, kTwoPi * f)));
@@ -72,6 +74,9 @@ ErrorStats compare_on_grid(const DescriptorSystem& full, const DenseSystem& redu
 std::vector<double> entry_error_series(const DescriptorSystem& full, const DenseSystem& reduced,
                                        const std::vector<double>& freqs, index out_idx,
                                        index in_idx, bool real_part_only) {
+  PMTBR_REQUIRE(!freqs.empty(), "empty frequency grid");
+  PMTBR_REQUIRE(0 <= out_idx && out_idx < full.num_outputs(), "output index out of range");
+  PMTBR_REQUIRE(0 <= in_idx && in_idx < full.num_inputs(), "input index out of range");
   std::vector<double> out;
   out.reserve(freqs.size());
   for (const double f : freqs) {

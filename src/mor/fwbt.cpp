@@ -68,7 +68,12 @@ MatD weighted_observability(const MatD& a, const MatD& c, const DenseSystem& w,
 
 FwbtResult fwbt(const DescriptorSystem& sys, const std::optional<DenseSystem>& input_weight,
                 const std::optional<DenseSystem>& output_weight, const FwbtOptions& opts) {
+  PMTBR_REQUIRE(sys.n() > 0, "fwbt needs a nonempty system");
+  PMTBR_REQUIRE(opts.error_tol >= 0, "error_tol must be nonnegative");
   const DenseStandard d = to_dense_standard(sys);
+  PMTBR_CHECK_FINITE(d.a, "fwbt standard-form A");
+  PMTBR_CHECK_FINITE(d.b, "fwbt standard-form B");
+  PMTBR_CHECK_FINITE(d.c, "fwbt standard-form C");
 
   if (input_weight) {
     PMTBR_REQUIRE(input_weight->num_outputs() == sys.num_inputs(),

@@ -7,6 +7,8 @@ namespace pmtbr::mor {
 MpprojResult mpproj(const DescriptorSystem& sys, const std::vector<FrequencySample>& samples,
                     const MpprojOptions& opts) {
   PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
+  PMTBR_REQUIRE(opts.deflation_tol > 0, "deflation_tol must be positive");
+  PMTBR_CHECK_FINITE(sys.b(), "mpproj input matrix B");
   const index n = sys.n();
   std::vector<std::vector<double>> basis;
 

@@ -48,6 +48,7 @@ PassivityReport check_passivity(const DenseSystem& sys, const std::vector<double
 }
 
 bool is_structurally_passive(const DescriptorSystem& sys, double tol) {
+  PMTBR_REQUIRE(tol >= 0, "tolerance must be nonnegative");
   const la::MatD e = sys.e().to_dense();
   if (la::max_abs_diff(e, la::transpose(e)) > tol * (1.0 + la::norm_inf(e))) return false;
   const auto eig_e = la::eig_sym(e);

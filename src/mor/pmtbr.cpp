@@ -184,6 +184,10 @@ std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
 }
 
 PmtbrResult pmtbr(const DescriptorSystem& sys, const PmtbrOptions& opts) {
+  PMTBR_REQUIRE(sys.n() > 0, "pmtbr needs a nonempty system");
+  PMTBR_REQUIRE(!opts.bands.empty(), "pmtbr needs at least one frequency band");
+  PMTBR_REQUIRE(opts.num_samples >= 1, "pmtbr needs at least one sample");
+  PMTBR_REQUIRE(opts.truncation_tol >= 0, "truncation_tol must be nonnegative");
   const auto samples = sample_bands(opts.bands, opts.num_samples, opts.scheme);
   return pmtbr_with_samples(sys, samples, opts);
 }

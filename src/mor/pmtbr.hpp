@@ -88,6 +88,7 @@ std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
 inline PmtbrResult pmtbr_frequency_selective(const DescriptorSystem& sys,
                                              const std::vector<Band>& bands,
                                              PmtbrOptions opts = {}) {
+  PMTBR_REQUIRE(!bands.empty(), "need at least one frequency band");
   opts.bands = bands;
   return pmtbr(sys, opts);
 }

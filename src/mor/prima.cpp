@@ -10,6 +10,9 @@ namespace pmtbr::mor {
 
 PrimaResult prima(const DescriptorSystem& sys, const PrimaOptions& opts) {
   PMTBR_REQUIRE(opts.num_moments >= 1, "need at least one block moment");
+  PMTBR_REQUIRE(opts.deflation_tol > 0, "deflation_tol must be positive");
+  PMTBR_REQUIRE(sys.n() > 0, "prima needs a nonempty system");
+  PMTBR_CHECK_FINITE(sys.b(), "prima input matrix B");
   const index n = sys.n();
   const index p = sys.num_inputs();
 

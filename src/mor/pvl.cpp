@@ -19,6 +19,9 @@ namespace pmtbr::mor {
 PvlResult pvl(const DescriptorSystem& sys, const PvlOptions& opts) {
   PMTBR_REQUIRE(sys.num_inputs() == 1 && sys.num_outputs() == 1, "pvl handles SISO systems");
   PMTBR_REQUIRE(opts.order >= 1, "order must be positive");
+  PMTBR_REQUIRE(opts.breakdown_tol > 0, "breakdown_tol must be positive");
+  PMTBR_CHECK_FINITE(sys.b(), "pvl input matrix B");
+  PMTBR_CHECK_FINITE(sys.c(), "pvl output matrix C");
   const index n = sys.n();
 
   const sparse::CsrD pencil = [&] {

@@ -60,6 +60,8 @@ MatD sparse_times_dense(const sparse::CsrD& m, const MatD& v) {
 DenseSystem project(const DescriptorSystem& sys, const MatD& v, const MatD& w) {
   PMTBR_REQUIRE(v.rows() == sys.n() && w.rows() == sys.n(), "basis row mismatch");
   PMTBR_REQUIRE(v.cols() == w.cols(), "basis column mismatch");
+  PMTBR_CHECK_FINITE(v, "projection basis V");
+  PMTBR_CHECK_FINITE(w, "projection basis W");
   const MatD wt = la::transpose(w);
   MatD er = la::matmul(wt, sparse_times_dense(sys.e(), v));
   MatD ar = la::matmul(wt, sparse_times_dense(sys.a(), v));

@@ -118,8 +118,9 @@ std::vector<double> hankel_singular_values(const DescriptorSystem& sys,
 }
 
 double tbr_error_bound(const std::vector<double>& hsv, index order) {
+  PMTBR_REQUIRE(order >= 0, "order must be nonnegative");
   double bound = 0;
-  for (std::size_t i = static_cast<std::size_t>(std::max<index>(order, 0)); i < hsv.size(); ++i)
+  for (std::size_t i = static_cast<std::size_t>(order); i < hsv.size(); ++i)
     bound += hsv[i];
   return 2.0 * bound;
 }

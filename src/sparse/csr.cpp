@@ -59,6 +59,8 @@ Csr<T>::Csr(const Triplets<T>& t) : rows_(t.rows()), cols_(t.cols()) {
 template <typename T>
 std::vector<T> Csr<T>::matvec(const std::vector<T>& x) const {
   PMTBR_REQUIRE(static_cast<index>(x.size()) == cols_, "matvec size mismatch");
+  PMTBR_CHECK_FINITE(*this, "csr matvec matrix");
+  PMTBR_CHECK_FINITE(x, "csr matvec vector");
   std::vector<T> y(static_cast<std::size_t>(rows_), T{});
   for (index i = 0; i < rows_; ++i) {
     T acc{};
@@ -72,6 +74,8 @@ std::vector<T> Csr<T>::matvec(const std::vector<T>& x) const {
 template <typename T>
 std::vector<T> Csr<T>::matvec_transpose(const std::vector<T>& x) const {
   PMTBR_REQUIRE(static_cast<index>(x.size()) == rows_, "matvec_transpose size mismatch");
+  PMTBR_CHECK_FINITE(*this, "csr matvec_transpose matrix");
+  PMTBR_CHECK_FINITE(x, "csr matvec_transpose vector");
   std::vector<T> y(static_cast<std::size_t>(cols_), T{});
   for (index i = 0; i < rows_; ++i) {
     const T xi = x[static_cast<std::size_t>(i)];

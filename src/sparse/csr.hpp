@@ -93,4 +93,15 @@ CsrC shifted_pencil(cd s, const CsrD& e, const CsrD& a);
 /// Complex copy of a real sparse matrix.
 CsrC to_complex(const CsrD& a);
 
+// Make the la:: scalar/vector/matrix overloads part of this namespace's
+// overload set so unqualified is_finite() (as expanded by
+// PMTBR_CHECK_FINITE) resolves for every argument type.
+using la::is_finite;
+
+/// Finiteness scan over the stored values (backing PMTBR_CHECK_FINITE).
+template <typename T>
+bool is_finite(const Csr<T>& a) {
+  return la::is_finite(a.values());
+}
+
 }  // namespace pmtbr::sparse

@@ -58,6 +58,7 @@ constexpr double kPivotThreshold = 1e-3;  // prefer the diagonal when viable
 template <typename T>
 SparseLu<T>::SparseLu(const Csr<T>& a, std::vector<index> perm) {
   PMTBR_REQUIRE(a.rows() == a.cols(), "sparse LU requires a square matrix");
+  PMTBR_CHECK_FINITE(a, "sparse LU input matrix");
   n_ = a.rows();
   if (perm.empty()) {
     q_.resize(static_cast<std::size_t>(n_));

@@ -1,12 +1,21 @@
-// Lightweight contract checking used across the library.
+// Lightweight contract checking used across the library, in three tiers:
 //
 // PMTBR_REQUIRE(cond, msg) throws std::invalid_argument — for precondition
-// violations by the caller (bad dimensions, bad options).
+// violations by the caller (bad dimensions, bad options). Always on.
 // PMTBR_ENSURE(cond, msg) throws std::runtime_error — for internal failures
 // (non-convergence, singular factorization) that the caller may want to
-// catch and handle.
+// catch and handle. Always on.
+// PMTBR_DEBUG_ASSERT(cond, msg) — cheap-to-state but hot-path checks
+// (index bounds in inner loops). Compiled out under NDEBUG, so release
+// builds pay nothing; debug and sanitizer builds get full checking.
+// PMTBR_CHECK_FINITE(obj, msg) throws std::runtime_error if obj contains a
+// NaN or infinity. Costs a full scan, so it is gated behind a runtime
+// switch whose default comes from the PMTBR_ENABLE_FINITE_CHECKS compile
+// definition (CMake option of the same name); tests may flip it at runtime
+// via pmtbr::contracts::set_finite_checks_enabled().
 #pragma once
 
+#include <atomic>
 #include <sstream>
 #include <stdexcept>
 #include <string>
@@ -27,7 +36,58 @@ namespace pmtbr::detail {
   throw std::runtime_error(os.str());
 }
 
+[[noreturn]] inline void fail_debug_assert(const char* expr, const std::string& msg,
+                                           const char* file, int line) {
+  std::ostringstream os;
+  os << "debug assertion failed: " << expr << " (" << msg << ") at " << file << ":" << line;
+  throw std::logic_error(os.str());
+}
+
+[[noreturn]] inline void fail_finite(const char* expr, const std::string& msg,
+                                     const char* file, int line) {
+  std::ostringstream os;
+  os << "non-finite value detected: " << expr << " (" << msg << ") at " << file << ":" << line;
+  throw std::runtime_error(os.str());
+}
+
 }  // namespace pmtbr::detail
+
+namespace pmtbr::contracts {
+
+#ifdef PMTBR_ENABLE_FINITE_CHECKS
+inline constexpr bool kFiniteChecksDefault = true;
+#else
+inline constexpr bool kFiniteChecksDefault = false;
+#endif
+
+inline std::atomic<bool>& finite_checks_flag() noexcept {
+  static std::atomic<bool> enabled{kFiniteChecksDefault};
+  return enabled;
+}
+
+inline bool finite_checks_enabled() noexcept {
+  return finite_checks_flag().load(std::memory_order_relaxed);
+}
+
+inline void set_finite_checks_enabled(bool on) noexcept {
+  finite_checks_flag().store(on, std::memory_order_relaxed);
+}
+
+/// RAII helper for tests: enable/disable finite checks within a scope.
+class ScopedFiniteChecks {
+ public:
+  explicit ScopedFiniteChecks(bool on) : prev_(finite_checks_enabled()) {
+    set_finite_checks_enabled(on);
+  }
+  ~ScopedFiniteChecks() { set_finite_checks_enabled(prev_); }
+  ScopedFiniteChecks(const ScopedFiniteChecks&) = delete;
+  ScopedFiniteChecks& operator=(const ScopedFiniteChecks&) = delete;
+
+ private:
+  bool prev_;
+};
+
+}  // namespace pmtbr::contracts
 
 #define PMTBR_REQUIRE(cond, msg)                                          \
   do {                                                                    \
@@ -37,4 +97,25 @@ namespace pmtbr::detail {
 #define PMTBR_ENSURE(cond, msg)                                           \
   do {                                                                    \
     if (!(cond)) ::pmtbr::detail::fail_ensure(#cond, msg, __FILE__, __LINE__); \
+  } while (false)
+
+#ifdef NDEBUG
+#define PMTBR_DEBUG_ASSERT(cond, msg) \
+  do {                                \
+  } while (false)
+#else
+#define PMTBR_DEBUG_ASSERT(cond, msg)                                     \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::pmtbr::detail::fail_debug_assert(#cond, msg, __FILE__, __LINE__); \
+  } while (false)
+#endif
+
+// `is_finite` overloads are found by argument-dependent lookup: each
+// container (la::Matrix, la::Vector aliases, sparse::Csr) defines one in
+// its own namespace.
+#define PMTBR_CHECK_FINITE(obj, msg)                                      \
+  do {                                                                    \
+    if (::pmtbr::contracts::finite_checks_enabled() && !is_finite(obj))   \
+      ::pmtbr::detail::fail_finite(#obj, msg, __FILE__, __LINE__);        \
   } while (false)

@@ -112,7 +112,7 @@ TEST(Integration, CorrelatedBeatsUncorrelatedAtEqualOrder) {
   spec.rise_time = 2e-10;
   spec.dither_fraction = 0.1;
   std::vector<double> phases;
-  for (index k = 0; k < 12; ++k) phases.push_back((k % 3) * 0.7e-9);
+  for (index k = 0; k < 12; ++k) phases.push_back(static_cast<double>(k % 3) * 0.7e-9);
   Rng rng(991);
   const double t_end = 2e-8;
   const auto bank = signal::make_square_bank(spec, t_end, phases, rng);

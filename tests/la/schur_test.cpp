@@ -102,8 +102,9 @@ TEST_P(SchurSizes, EigenvalueSumEqualsTrace) {
   for (const auto& v : w) sum += v;
   double trace = 0;
   for (index i = 0; i < n; ++i) trace += a(i, i);
-  EXPECT_NEAR(sum.real(), trace, 1e-8 * std::max(1.0, std::abs(trace)) * n);
-  EXPECT_NEAR(sum.imag(), 0.0, 1e-8 * n);
+  const double nd = static_cast<double>(n);
+  EXPECT_NEAR(sum.real(), trace, 1e-8 * std::max(1.0, std::abs(trace)) * nd);
+  EXPECT_NEAR(sum.imag(), 0.0, 1e-8 * nd);
 }
 
 INSTANTIATE_TEST_SUITE_P(Sizes, SchurSizes, ::testing::Values(1, 2, 3, 4, 8, 16, 32, 64));

@@ -166,7 +166,7 @@ class InputCorrelatedFixture : public ::testing::Test {
     spec.rise_time = 2e-10;
     spec.dither_fraction = 0.1;
     std::vector<double> phases;
-    for (index k = 0; k < 8; ++k) phases.push_back((k % 2) * 1e-9);
+    for (index k = 0; k < 8; ++k) phases.push_back(static_cast<double>(k % 2) * 1e-9);
     Rng rng(77);
     bank_ = signal::make_square_bank(spec, t_end_, phases, rng);
     samples_ = signal::sample_waveforms(bank_, t_end_, 200);

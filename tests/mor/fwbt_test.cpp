@@ -47,9 +47,13 @@ TEST(Butterworth, MimoChannelsAreDecoupled) {
   EXPECT_EQ(w.n(), 6);
   EXPECT_EQ(w.num_inputs(), 3);
   const la::MatC h = w.transfer(la::cd(0.0, 1e9));
-  for (index i = 0; i < 3; ++i)
-    for (index j = 0; j < 3; ++j)
-      if (i != j) EXPECT_LT(std::abs(h(i, j)), 1e-12);
+  for (index i = 0; i < 3; ++i) {
+    for (index j = 0; j < 3; ++j) {
+      if (i != j) {
+        EXPECT_LT(std::abs(h(i, j)), 1e-12);
+      }
+    }
+  }
 }
 
 TEST(Fwbt, IdentityWeightsMatchTbr) {

@@ -58,7 +58,7 @@ TEST(Correlation, RankOneForIdenticalWaves) {
   Waveform base({0.0, 1e-9, 2e-9, 3e-9}, {0.0, 1.0, 0.5, 1.0});
   la::MatD u(3, 50);
   for (index l = 0; l < 50; ++l) {
-    const double t = 3e-9 * l / 49.0;
+    const double t = 3e-9 * static_cast<double>(l) / 49.0;
     const double v = base.value(t);
     u(0, l) = v;
     u(1, l) = 2.0 * v;

@@ -1,0 +1,89 @@
+// Sparse LU failure modes: singular and structurally rank-deficient inputs
+// must fail loudly with std::runtime_error (internal ENSURE tier), shape
+// violations with std::invalid_argument, and NaN values are caught at the
+// factorization boundary when finite checks are on.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "sparse/splu.hpp"
+
+namespace pmtbr::sparse {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+CsrD identity_csr(index n) {
+  Triplets<double> t(n, n);
+  for (index i = 0; i < n; ++i) t.add(i, i, 1.0);
+  return CsrD(t);
+}
+
+TEST(SpluContract, NumericallySingularThrowsRuntimeError) {
+  // Rank 1: second row is a copy of the first. Every pivot candidate in the
+  // second column vanishes after elimination.
+  Triplets<double> t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 2.0);
+  EXPECT_THROW(SparseLuD{CsrD(t)}, std::runtime_error);
+}
+
+TEST(SpluContract, StructurallyRankDeficientThrowsRuntimeError) {
+  // Row 1 has no entries at all: no amount of pivoting can produce a
+  // nonzero pivot for it.
+  Triplets<double> t(3, 3);
+  t.add(0, 0, 2.0);
+  t.add(2, 2, 3.0);
+  t.add(0, 2, 1.0);
+  EXPECT_THROW(SparseLuD{CsrD(t)}, std::runtime_error);
+}
+
+TEST(SpluContract, EmptyColumnThrowsRuntimeError) {
+  // Column 1 is structurally empty — the transposed deficiency.
+  Triplets<double> t(3, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 0, 2.0);
+  t.add(1, 2, 1.0);
+  t.add(2, 2, 5.0);
+  EXPECT_THROW(SparseLuD{CsrD(t)}, std::runtime_error);
+}
+
+TEST(SpluContract, NonSquareThrowsInvalidArgument) {
+  Triplets<double> t(2, 3);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, 1.0);
+  EXPECT_THROW(SparseLuD{CsrD(t)}, std::invalid_argument);
+}
+
+TEST(SpluContract, RhsLengthMismatchThrowsInvalidArgument) {
+  const SparseLuD lu(identity_csr(3));
+  EXPECT_THROW(lu.solve(std::vector<double>(2, 1.0)), std::invalid_argument);
+  EXPECT_THROW(lu.solve_transpose(std::vector<double>(4, 1.0)), std::invalid_argument);
+}
+
+TEST(SpluContract, BadPermutationLengthThrowsInvalidArgument) {
+  EXPECT_THROW(SparseLuD(identity_csr(3), std::vector<index>{0, 1}), std::invalid_argument);
+}
+
+TEST(SpluContract, NanValueCaughtWhenFiniteChecksOn) {
+  contracts::ScopedFiniteChecks on(true);
+  Triplets<double> t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, kNan);
+  EXPECT_THROW(SparseLuD{CsrD(t)}, std::runtime_error);
+}
+
+TEST(SpluContract, WellPosedSystemStillSolves) {
+  const SparseLuD lu(identity_csr(4));
+  const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
+  const auto x = lu.solve(b);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+}  // namespace
+}  // namespace pmtbr::sparse

@@ -1,0 +1,133 @@
+// Contract-macro tests: exception types, message contents (expression,
+// message, file:line), NDEBUG gating, and the runtime finite-check switch.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "la/matrix.hpp"
+#include "util/check.hpp"
+
+namespace pmtbr {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Check, RequireThrowsInvalidArgumentWithLocation) {
+  try {
+    PMTBR_REQUIRE(1 < 0, "impossible ordering");
+    FAIL() << "PMTBR_REQUIRE did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 < 0"), std::string::npos) << what;
+    EXPECT_NE(what.find("impossible ordering"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp:"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, RequirePassesOnTrueCondition) {
+  EXPECT_NO_THROW(PMTBR_REQUIRE(2 + 2 == 4, "arithmetic"));
+}
+
+TEST(Check, EnsureThrowsRuntimeErrorWithLocation) {
+  try {
+    PMTBR_ENSURE(false, "did not converge");
+    FAIL() << "PMTBR_ENSURE did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("did not converge"), std::string::npos) << what;
+    EXPECT_NE(what.find("test_check.cpp:"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, EnsureIsNotInvalidArgument) {
+  // The two always-on tiers must stay distinguishable for callers that
+  // catch precondition violations separately from internal failures.
+  EXPECT_THROW(PMTBR_ENSURE(false, "x"), std::runtime_error);
+  try {
+    PMTBR_ENSURE(false, "x");
+  } catch (const std::invalid_argument&) {
+    FAIL() << "PMTBR_ENSURE threw invalid_argument";
+  } catch (const std::runtime_error&) {
+  }
+}
+
+TEST(Check, DebugAssertGatedByNdebug) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(PMTBR_DEBUG_ASSERT(false, "compiled out"));
+#else
+  EXPECT_THROW(PMTBR_DEBUG_ASSERT(false, "active in debug"), std::logic_error);
+  EXPECT_NO_THROW(PMTBR_DEBUG_ASSERT(true, "passes"));
+#endif
+}
+
+TEST(Check, DebugAssertDoesNotEvaluateConditionUnderNdebug) {
+#ifdef NDEBUG
+  int evals = 0;
+  PMTBR_DEBUG_ASSERT((++evals, true), "side effect");
+  EXPECT_EQ(evals, 0);
+#else
+  GTEST_SKIP() << "condition is evaluated in debug builds by design";
+#endif
+}
+
+TEST(Check, FiniteCheckRespectsRuntimeSwitch) {
+  la::MatD m(2, 2, 1.0);
+  m(1, 1) = kNan;
+  {
+    contracts::ScopedFiniteChecks off(false);
+    EXPECT_NO_THROW(PMTBR_CHECK_FINITE(m, "switched off"));
+  }
+  {
+    contracts::ScopedFiniteChecks on(true);
+    EXPECT_THROW(PMTBR_CHECK_FINITE(m, "switched on"), std::runtime_error);
+  }
+}
+
+TEST(Check, FiniteCheckCatchesInfinity) {
+  contracts::ScopedFiniteChecks on(true);
+  la::MatD m(3, 1, 0.0);
+  EXPECT_NO_THROW(PMTBR_CHECK_FINITE(m, "all finite"));
+  m(2, 0) = kInf;
+  EXPECT_THROW(PMTBR_CHECK_FINITE(m, "has inf"), std::runtime_error);
+}
+
+TEST(Check, FiniteCheckMessageNamesTheObject) {
+  contracts::ScopedFiniteChecks on(true);
+  la::MatD weights(1, 1, kNan);
+  try {
+    PMTBR_CHECK_FINITE(weights, "sampling weights");
+    FAIL() << "PMTBR_CHECK_FINITE did not throw";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("weights"), std::string::npos) << what;
+    EXPECT_NE(what.find("sampling weights"), std::string::npos) << what;
+  }
+}
+
+TEST(Check, ScopedFiniteChecksRestoresPreviousState) {
+  const bool before = contracts::finite_checks_enabled();
+  {
+    contracts::ScopedFiniteChecks flip(!before);
+    EXPECT_EQ(contracts::finite_checks_enabled(), !before);
+    {
+      contracts::ScopedFiniteChecks nested(before);
+      EXPECT_EQ(contracts::finite_checks_enabled(), before);
+    }
+    EXPECT_EQ(contracts::finite_checks_enabled(), !before);
+  }
+  EXPECT_EQ(contracts::finite_checks_enabled(), before);
+}
+
+TEST(Check, IsFiniteScalarOverloads) {
+  EXPECT_TRUE(la::is_finite(1.0));
+  EXPECT_FALSE(la::is_finite(kNan));
+  EXPECT_FALSE(la::is_finite(kInf));
+  EXPECT_TRUE(la::is_finite(la::cd(1.0, -2.0)));
+  EXPECT_FALSE(la::is_finite(la::cd(0.0, kNan)));
+}
+
+}  // namespace
+}  // namespace pmtbr

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Parallel clang-tidy driver for the pmtbr tree.
+
+Runs clang-tidy (configured by the repo's .clang-tidy) over every
+translation unit found in the compile database, restricted to the source
+roots given on the command line. Exit status is nonzero if any file
+produced a diagnostic, which makes it usable both from the CMake `lint`
+target and from CI.
+
+Usage:  python3 tools/run_clang_tidy.py [--clang-tidy BIN] -p BUILD_DIR [roots...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+
+def load_compile_db(build_dir: Path) -> list[Path]:
+    db_path = build_dir / "compile_commands.json"
+    if not db_path.exists():
+        sys.exit(
+            f"error: {db_path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo CMakeLists does "
+            "this by default)"
+        )
+    entries = json.loads(db_path.read_text())
+    return [Path(e["file"]).resolve() for e in entries]
+
+
+def tidy_one(clang_tidy: str, build_dir: Path, src: Path) -> tuple[Path, int, str]:
+    try:
+        proc = subprocess.run(
+            [clang_tidy, "--quiet", "-p", str(build_dir), str(src)],
+            capture_output=True,
+            text=True,
+        )
+    except FileNotFoundError:
+        sys.exit(f"error: `{clang_tidy}` not found on PATH — install clang-tidy "
+                 "or pass --clang-tidy /path/to/clang-tidy")
+    # clang-tidy prints "N warnings generated" chatter on stderr even when
+    # clean; diagnostics proper go to stdout.
+    return src, proc.returncode, proc.stdout.strip()
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--clang-tidy", default="clang-tidy", help="clang-tidy binary")
+    ap.add_argument("-p", dest="build_dir", required=True, type=Path,
+                    help="build directory containing compile_commands.json")
+    ap.add_argument("roots", nargs="*", type=Path,
+                    help="restrict to files under these directories (default: all)")
+    ap.add_argument("-j", dest="jobs", type=int, default=os.cpu_count() or 2)
+    args = ap.parse_args()
+
+    roots = [r.resolve() for r in args.roots]
+    files = load_compile_db(args.build_dir)
+    if roots:
+        files = [f for f in files
+                 if any(f.is_relative_to(r) for r in roots)]
+    if not files:
+        sys.exit("error: no translation units matched the given roots")
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as pool:
+        futures = [pool.submit(tidy_one, args.clang_tidy, args.build_dir, f)
+                   for f in sorted(files)]
+        for fut in concurrent.futures.as_completed(futures):
+            src, rc, out = fut.result()
+            if rc != 0 or out:
+                failed += 1
+                print(f"--- {src}")
+                if out:
+                    print(out)
+    print(f"run_clang_tidy: {len(files)} files, {failed} with diagnostics.")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
