@@ -6,7 +6,9 @@
 #pragma once
 
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -32,5 +34,42 @@ inline void banner(const std::string& experiment, const std::string& description
 }
 
 inline void note(const std::string& text) { std::cout << "# " << text << "\n"; }
+
+/// One machine-readable timing measurement. `label` distinguishes runs of
+/// the same bench (e.g. "pmtbr_threads=4"); `n` is the state count and
+/// `samples` the number of frequency samples (0 when not applicable).
+struct TimingRecord {
+  std::string label;
+  double wall_seconds = 0.0;
+  long n = 0;
+  long samples = 0;
+  int threads = 1;
+};
+
+/// Writes bench_out/BENCH_<name>.json with the given records, so CI and
+/// scripts can diff timings without parsing human-oriented stdout. Returns
+/// the path written, or "" on failure (the bench still ran; only the
+/// artifact is missing).
+inline std::string write_timing_json(const std::string& name,
+                                     const std::vector<TimingRecord>& records) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return {};
+  const std::string path = "bench_out/BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) return {};
+  std::ostringstream body;
+  body.precision(9);
+  body << "{\n  \"bench\": \"" << name << "\",\n  \"records\": [\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    body << "    {\"label\": \"" << r.label << "\", \"wall_seconds\": " << r.wall_seconds
+         << ", \"n\": " << r.n << ", \"samples\": " << r.samples
+         << ", \"threads\": " << r.threads << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  body << "  ]\n}\n";
+  out << body.str();
+  return path;
+}
 
 }  // namespace pmtbr::bench

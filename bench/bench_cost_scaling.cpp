@@ -7,11 +7,18 @@
 // per sample but needs smaller models).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "circuit/generators.hpp"
 #include "la/ops.hpp"
 #include "mor/pmtbr.hpp"
 #include "mor/prima.hpp"
 #include "mor/tbr.hpp"
+#include "sparse/splu.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -82,6 +89,89 @@ BENCHMARK(BM_ShiftedSolve)
     ->Complexity()
     ->Unit(benchmark::kMillisecond);
 
+// Thread-count sweep for the parallel sampling engine, plus a
+// symbolic-reuse measurement, recorded as machine-readable JSON
+// (bench_out/BENCH_cost_scaling.json) for CI timing diffs.
+std::vector<bench::TimingRecord> run_parallel_sweep() {
+  std::vector<bench::TimingRecord> records;
+
+  circuit::RcMeshParams mp;
+  mp.rows = 30;
+  mp.cols = 30;
+  mp.num_ports = 4;
+  const auto mesh = circuit::make_rc_mesh(mp);
+
+  mor::PmtbrOptions opts;
+  opts.bands = {mor::Band{1e5, 1e11}};
+  opts.num_samples = 50;
+  opts.fixed_order = 20;
+
+  const int hw = util::resolve_num_threads(nullptr);
+  std::vector<int> sweep{1, 2, 4};
+  if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) sweep.push_back(hw);
+  for (const int threads : sweep) {
+    util::set_global_threads(threads);
+    const auto fresh = mesh;  // cold caches for every run
+    WallTimer timer;
+    const auto result = mor::pmtbr(fresh, opts);
+    const double secs = timer.seconds();
+    records.push_back({"pmtbr_threads=" + std::to_string(threads), secs, mesh.n(),
+                       static_cast<long>(result.samples_used.size()), threads});
+    bench::note("pmtbr n=" + std::to_string(mesh.n()) + " samples=50 threads=" +
+                std::to_string(threads) + ": " + std::to_string(secs) + " s");
+  }
+  util::set_global_threads(util::resolve_num_threads(nullptr));
+
+  // Symbolic reuse: solve the same pencil pattern at many shifts, once with
+  // a full factorization per shift and once reusing one symbolic analysis.
+  {
+    circuit::RcLineParams lp;
+    lp.segments = 4000;
+    const auto sys = circuit::make_rc_line(lp);
+    std::vector<la::cd> shifts;
+    for (int k = 0; k < 20; ++k) shifts.emplace_back(0.0, 1e6 * std::pow(10.0, 0.25 * k));
+    const la::MatC b = la::to_complex(sys.b());
+
+    WallTimer cold;
+    for (const la::cd s : shifts) {
+      const sparse::SparseLuC lu(sparse::shifted_pencil(s, sys.e(), sys.a()), sys.ordering());
+      benchmark::DoNotOptimize(lu.solve(b).rows());
+    }
+    const double cold_secs = cold.seconds();
+
+    const sparse::SymbolicLuC symbolic(sparse::shifted_pencil(shifts.front(), sys.e(), sys.a()),
+                                       sys.ordering());
+    WallTimer warm;
+    for (const la::cd s : shifts) {
+      const auto lu = sparse::SparseLuC::try_refactor(symbolic,
+                                                      sparse::shifted_pencil(s, sys.e(), sys.a()));
+      benchmark::DoNotOptimize(lu->solve(b).rows());
+    }
+    const double warm_secs = warm.seconds();
+
+    records.push_back({"shifted_solves_full_factor", cold_secs, sys.n(),
+                       static_cast<long>(shifts.size()), 1});
+    records.push_back({"shifted_solves_symbolic_reuse", warm_secs, sys.n(),
+                       static_cast<long>(shifts.size()), 1});
+    bench::note("20-shift solve n=" + std::to_string(sys.n()) + ": full=" +
+                std::to_string(cold_secs) + " s, symbolic-reuse=" + std::to_string(warm_secs) +
+                " s (" + std::to_string(cold_secs / warm_secs) + "x)");
+  }
+  return records;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  pmtbr::bench::banner("cost_scaling",
+                       "TBR/PRIMA/PMTBR wall-clock scaling + thread sweep + symbolic reuse");
+  const auto records = run_parallel_sweep();
+  const std::string json = pmtbr::bench::write_timing_json("cost_scaling", records);
+  if (!json.empty()) pmtbr::bench::note("timing JSON: " + json);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

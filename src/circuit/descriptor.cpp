@@ -1,12 +1,14 @@
 #include "circuit/descriptor.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "la/cholesky.hpp"
 #include "la/lu.hpp"
 #include "la/ops.hpp"
 #include "sparse/rcm.hpp"
 #include "sparse/splu.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pmtbr {
 
@@ -32,46 +34,76 @@ DescriptorSystem DescriptorSystem::with_ports(const std::vector<index>& cols,
   MatD b(n(), static_cast<index>(cols.size()));
   for (index j = 0; j < static_cast<index>(cols.size()); ++j) {
     PMTBR_REQUIRE(cols[static_cast<std::size_t>(j)] < num_inputs(), "port index out of range");
-    for (index i = 0; i < n(); ++i) b(i, j) = b_(i, cols[static_cast<std::size_t>(j)]);
+    b.set_col(j, b_.col(cols[static_cast<std::size_t>(j)]));
   }
   MatD c = c_;
   if (restrict_outputs) {
     c = MatD(static_cast<index>(cols.size()), n());
     for (index i = 0; i < static_cast<index>(cols.size()); ++i) {
       PMTBR_REQUIRE(cols[static_cast<std::size_t>(i)] < num_outputs(), "port index out of range");
-      for (index j = 0; j < n(); ++j) c(i, j) = c_(cols[static_cast<std::size_t>(i)], j);
+      const double* src = c_.row_ptr(cols[static_cast<std::size_t>(i)]);
+      std::copy(src, src + n(), c.row_ptr(i));
     }
   }
   return DescriptorSystem(e_, a_, std::move(b), std::move(c));
 }
 
 const std::vector<index>& DescriptorSystem::ordering() const {
-  if (!ordering_) {
+  std::unique_lock<std::mutex> lock(cache_->mutex);
+  return ordering_locked(lock);
+}
+
+const std::vector<index>& DescriptorSystem::ordering_locked(
+    [[maybe_unused]] std::unique_lock<std::mutex>& lock) const {
+  PMTBR_DEBUG_ASSERT(lock.owns_lock(), "ordering cache accessed without lock");
+  if (!cache_->ordering) {
     const sparse::CsrD pattern = sparse::combine(1.0, e_, 1.0, a_);
-    ordering_ = std::make_shared<const std::vector<index>>(sparse::rcm_ordering(pattern));
+    cache_->ordering = std::make_shared<const std::vector<index>>(sparse::rcm_ordering(pattern));
   }
-  return *ordering_;
+  return *cache_->ordering;
+}
+
+std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) const {
+  std::unique_lock<std::mutex> lock(cache_->mutex);
+  if (!cache_->symbolic) {
+    // Build from the pencil at this shift; concurrent first callers
+    // serialize here so exactly one symbolic analysis is ever built.
+    const std::vector<index> perm = ordering_locked(lock);
+    cache_->symbolic = std::make_shared<const sparse::SymbolicLuC>(
+        sparse::shifted_pencil(s, e_, a_), perm);
+  }
+  return cache_->symbolic;
+}
+
+void DescriptorSystem::prepare_shifted(cd s) const { symbolic_for(s); }
+
+sparse::SparseLuC DescriptorSystem::factor_shifted(cd s) const {
+  const auto sym = symbolic_for(s);
+  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
+  auto lu = sparse::SparseLuC::try_refactor(*sym, pencil);
+  if (lu) return std::move(*lu);
+  // Frozen pivot order degenerate at this shift: full factorization with
+  // fresh pivoting (deterministic — depends only on the pencil values).
+  return sparse::SparseLuC(pencil, ordering());
 }
 
 MatC DescriptorSystem::solve_shifted(cd s, const MatC& rhs) const {
-  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
-  const sparse::SparseLuC lu(pencil, ordering());
-  return lu.solve(rhs);
+  return factor_shifted(s).solve(rhs);
 }
 
 MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {
-  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
-  const sparse::SparseLuC lu(pencil, ordering());
+  const sparse::SparseLuC lu = factor_shifted(s);
   MatC x(rhs.rows(), rhs.cols());
-  for (index j = 0; j < rhs.cols(); ++j) x.set_col(j, lu.solve_adjoint(rhs.col(j)));
+  util::parallel_for(0, rhs.cols(),
+                     [&](index j) { x.set_col(j, lu.solve_adjoint(rhs.col(j))); });
   return x;
 }
 
 MatC DescriptorSystem::solve_shifted_transpose(cd s, const MatC& rhs) const {
-  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
-  const sparse::SparseLuC lu(pencil, ordering());
+  const sparse::SparseLuC lu = factor_shifted(s);
   MatC x(rhs.rows(), rhs.cols());
-  for (index j = 0; j < rhs.cols(); ++j) x.set_col(j, lu.solve_transpose(rhs.col(j)));
+  util::parallel_for(0, rhs.cols(),
+                     [&](index j) { x.set_col(j, lu.solve_transpose(rhs.col(j))); });
   return x;
 }
 
@@ -111,6 +143,8 @@ DescriptorSystem to_symmetric_standard(const DescriptorSystem& sys) {
   }
 
   sparse::Triplets<double> ta(n, n), te(n, n);
+  te.reserve(static_cast<std::size_t>(n));
+  ta.reserve(sys.a().nnz());
   const auto& a = sys.a();
   for (index i = 0; i < n; ++i) {
     te.add(i, i, 1.0);
@@ -165,6 +199,8 @@ DescriptorSystem to_energy_standard(const DescriptorSystem& sys) {
 DescriptorSystem from_dense(const MatD& a, const MatD& b, const MatD& c) {
   const index n = a.rows();
   sparse::Triplets<double> te(n, n), ta(n, n);
+  te.reserve(static_cast<std::size_t>(n));
+  ta.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(n));
   for (index i = 0; i < n; ++i) {
     te.add(i, i, 1.0);
     for (index j = 0; j < n; ++j) ta.add(i, j, a(i, j));

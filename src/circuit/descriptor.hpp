@@ -3,15 +3,22 @@
 //
 // E is allowed to be singular (standard for MNA); everything PMTBR needs is
 // the shifted solve (sE - A)^{-1}, which stays well-posed as long as the
-// pencil is regular. The RCM ordering of the union pattern is computed once
-// and reused by every factorization.
+// pencil is regular. Because shifted_pencil() emits the union pattern of E
+// and A for every shift, one symbolic LU analysis (pivot order + fill
+// pattern) serves all shifts: the first solve performs the full
+// Gilbert–Peierls factorization and every further shift is a cheap numeric
+// refactorization. Both the RCM ordering and the symbolic analysis are
+// cached behind a mutex, so concurrent solve_shifted calls from the thread
+// pool are safe.
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "la/matrix.hpp"
 #include "sparse/csr.hpp"
+#include "sparse/splu.hpp"
 
 namespace pmtbr {
 
@@ -48,13 +55,34 @@ class DescriptorSystem {
   /// Transfer function H(s) = C (sE - A)^{-1} B.
   la::MatC transfer(la::cd s) const;
 
-  /// Fill-reducing ordering of the union pattern, computed lazily and cached.
+  /// Fill-reducing ordering of the union pattern, computed lazily and
+  /// cached; safe to call concurrently.
   const std::vector<la::index>& ordering() const;
 
+  /// Ensures the cached symbolic factorization of the sE - A pencil exists,
+  /// building it from the pencil at shift `s` if not. Parallel drivers call
+  /// this with their first shift before fanning out, so the frozen pivot
+  /// order — and therefore every result — is independent of thread
+  /// scheduling and identical to a serial run.
+  void prepare_shifted(la::cd s) const;
+
  private:
+  /// Shared lazily-computed state. Held behind one shared_ptr so copies of
+  /// a system (which share the same E/A) also share the caches, and so the
+  /// class stays copyable despite owning a mutex.
+  struct Cache {
+    std::mutex mutex;
+    std::shared_ptr<const std::vector<la::index>> ordering;
+    std::shared_ptr<const sparse::SymbolicLuC> symbolic;
+  };
+
+  const std::vector<la::index>& ordering_locked(std::unique_lock<std::mutex>& lock) const;
+  std::shared_ptr<const sparse::SymbolicLuC> symbolic_for(la::cd s) const;
+  sparse::SparseLuC factor_shifted(la::cd s) const;
+
   sparse::CsrD e_, a_;
   la::MatD b_, c_;
-  mutable std::shared_ptr<const std::vector<la::index>> ordering_;  // lazy cache
+  mutable std::shared_ptr<Cache> cache_ = std::make_shared<Cache>();
 };
 
 /// Dense standard-form copy (Ad = E^{-1}A, Bd = E^{-1}B): requires E

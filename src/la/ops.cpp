@@ -3,7 +3,20 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.hpp"
+
 namespace pmtbr::la {
+
+namespace {
+
+// Flop count below which a product is not worth scheduling on the pool.
+constexpr double kParallelMatmulFlops = 1 << 18;
+
+// Rows of C computed per scheduled unit: large enough that each unit does
+// meaningful work, small enough to load-balance tall-skinny products.
+constexpr index kMatmulRowPanel = 16;
+
+}  // namespace
 
 template <typename T>
 Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
@@ -12,15 +25,31 @@ Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
   PMTBR_CHECK_FINITE(b, "matmul rhs");
   Matrix<T> c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop contiguous in row-major storage.
-  for (index i = 0; i < a.rows(); ++i) {
-    T* ci = c.row_ptr(i);
-    for (index k = 0; k < a.cols(); ++k) {
-      const T aik = a(i, k);
-      if (aik == T{}) continue;
-      const T* bk = b.row_ptr(k);
-      for (index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+  // Each row of C depends only on one row of A, so row panels fan out
+  // across the pool with no shared writes; per-row arithmetic is identical
+  // to the serial loop, keeping results bit-identical.
+  const auto row_panel = [&](index i0, index i1) {
+    for (index i = i0; i < i1; ++i) {
+      T* ci = c.row_ptr(i);
+      for (index k = 0; k < a.cols(); ++k) {
+        const T aik = a(i, k);
+        if (aik == T{}) continue;
+        const T* bk = b.row_ptr(k);
+        for (index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+      }
     }
+  };
+  const double flops = static_cast<double>(a.rows()) * static_cast<double>(a.cols()) *
+                       static_cast<double>(b.cols());
+  if (flops < kParallelMatmulFlops || a.rows() < 2 * kMatmulRowPanel) {
+    row_panel(0, a.rows());
+    return c;
   }
+  const index panels = (a.rows() + kMatmulRowPanel - 1) / kMatmulRowPanel;
+  util::parallel_for(0, panels, [&](index p) {
+    const index i0 = p * kMatmulRowPanel;
+    row_panel(i0, std::min<index>(i0 + kMatmulRowPanel, a.rows()));
+  });
   return c;
 }
 

@@ -15,13 +15,16 @@ IncrementalCompressor::IncrementalCompressor(index n, double drop_tol)
   PMTBR_REQUIRE(drop_tol > 0 && drop_tol < 1, "drop_tol must be in (0, 1)");
 }
 
-void IncrementalCompressor::add_columns(const MatD& block) {
+double IncrementalCompressor::add_columns(const MatD& block) {
   PMTBR_REQUIRE(block.rows() == n_, "block row mismatch");
   PMTBR_CHECK_FINITE(block, "compressor sample block");
-  for (index j = 0; j < block.cols(); ++j) add_column(block.col(j));
+  const index basis_rank = rank();
+  double res_sq = 0.0;
+  for (index j = 0; j < block.cols(); ++j) res_sq += add_column(block.col(j), basis_rank);
+  return std::sqrt(res_sq);
 }
 
-void IncrementalCompressor::add_column(std::vector<double> v) {
+double IncrementalCompressor::add_column(std::vector<double> v, index basis_rank) {
   const double vnorm = la::norm2(v);
   std::vector<double> h;
   h.reserve(q_cols_.size() + 1);
@@ -42,6 +45,12 @@ void IncrementalCompressor::add_column(std::vector<double> v) {
   h.assign(coeffs.begin(), coeffs.end());
 
   const double beta = la::norm2(v);
+  // Component outside the pre-block basis: the final residual plus the
+  // coefficients along directions this same block introduced.
+  double res_sq = beta * beta;
+  for (std::size_t k = static_cast<std::size_t>(basis_rank); k < coeffs.size(); ++k)
+    res_sq += coeffs[k] * coeffs[k];
+
   if (beta > drop_tol_ * std::max(vnorm, 1e-300) && rank() < n_) {
     for (auto& x : v) x /= beta;
     q_cols_.push_back(std::move(v));
@@ -49,6 +58,7 @@ void IncrementalCompressor::add_column(std::vector<double> v) {
   }
   r_cols_.push_back(std::move(h));
   ++m_;
+  return res_sq;
 }
 
 MatD IncrementalCompressor::r_dense() const {

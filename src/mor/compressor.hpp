@@ -26,7 +26,11 @@ class IncrementalCompressor {
   explicit IncrementalCompressor(index n, double drop_tol = 1e-13);
 
   /// Absorbs the columns of `block` (already weight-scaled by the caller).
-  void add_columns(const MatD& block);
+  /// Returns the Frobenius norm of the block's component orthogonal to the
+  /// basis as it stood BEFORE the call — the "novelty" of the block, free
+  /// of charge from the Gram–Schmidt coefficients (adaptive sampling used
+  /// to recompute this with two n×k products per sample).
+  double add_columns(const MatD& block);
 
   index n() const { return n_; }
   index rank() const { return static_cast<index>(q_cols_.size()); }
@@ -44,7 +48,10 @@ class IncrementalCompressor {
   index order_for_tolerance(double tol) const;
 
  private:
-  void add_column(std::vector<double> v);
+  /// Returns the squared norm of v's component orthogonal to the first
+  /// `basis_rank` basis columns (the basis size before the enclosing
+  /// add_columns call started).
+  double add_column(std::vector<double> v, index basis_rank);
   MatD r_dense() const;
 
   index n_;

@@ -1,11 +1,13 @@
 #include "mor/pmtbr.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
 #include "la/ops.hpp"
 #include "mor/compressor.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace pmtbr::mor {
 
@@ -34,6 +36,25 @@ index choose_order(const IncrementalCompressor& comp, const PmtbrOptions& opts) 
   return std::max<index>(order, 1);
 }
 
+// Applies the optional frequency weighting and drops fully suppressed
+// samples — the deterministic serial prologue shared by both pipelines.
+std::vector<FrequencySample> effective_samples(const std::vector<FrequencySample>& samples,
+                                               const PmtbrOptions& opts) {
+  std::vector<FrequencySample> eff;
+  eff.reserve(samples.size());
+  for (FrequencySample fs : samples) {
+    if (opts.weight_fn) {
+      const double f_hz = fs.s.imag() / (2.0 * std::numbers::pi);
+      const double w = opts.weight_fn(f_hz);
+      PMTBR_REQUIRE(w >= 0.0, "frequency weighting must be nonnegative");
+      fs.weight *= w;
+      if (fs.weight == 0.0) continue;  // fully suppressed sample
+    }
+    eff.push_back(fs);
+  }
+  return eff;
+}
+
 }  // namespace
 
 PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
@@ -43,28 +64,43 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
   IncrementalCompressor comp(sys.n());
   PmtbrResult out;
 
-  for (std::size_t k = 0; k < samples.size(); ++k) {
-    FrequencySample fs = samples[k];
-    if (opts.weight_fn) {
-      const double f_hz = fs.s.imag() / (2.0 * std::numbers::pi);
-      const double w = opts.weight_fn(f_hz);
-      PMTBR_REQUIRE(w >= 0.0, "frequency weighting must be nonnegative");
-      fs.weight *= w;
-      if (fs.weight == 0.0) continue;  // fully suppressed sample
-    }
-    comp.add_columns(sample_block(sys, fs));
-    out.samples_used.push_back(fs);
+  const std::vector<FrequencySample> eff = effective_samples(samples, opts);
+  if (!eff.empty()) {
+    // Freeze the pencil's pivot order before fanning out so every thread
+    // refactors against the same symbolic analysis — results are then
+    // bit-identical to a serial run regardless of scheduling.
+    sys.prepare_shifted(eff.front().s);
 
-    if (opts.adaptive_excess > 0 &&
-        static_cast<index>(out.samples_used.size()) >= opts.min_samples) {
-      // Stop when the sample count comfortably exceeds the order estimate
-      // (the paper's "samples in excess of the model order" criterion).
-      const index est = comp.order_for_tolerance(opts.truncation_tol);
-      if (static_cast<double>(out.samples_used.size()) >=
-          opts.adaptive_excess * static_cast<double>(est)) {
-        log_debug("pmtbr: adaptive stop after ", out.samples_used.size(), " samples (order ~",
-                  est, ")");
-        break;
+    // Sample solves run on the pool in windows; absorption (and with it
+    // the adaptive stopping decision) is committed strictly in sample
+    // order. Without adaptive stopping one window covers everything; with
+    // it, small windows bound the wasted solves past the stopping point.
+    const bool adaptive = opts.adaptive_excess > 0;
+    const auto total = static_cast<index>(eff.size());
+    const index window =
+        adaptive ? std::max<index>(index{1}, 2 * util::global_pool().size()) : total;
+    bool stopped = false;
+    for (index base = 0; base < total && !stopped; base += window) {
+      const index count = std::min<index>(window, total - base);
+      const auto blocks = util::parallel_map<MatD>(
+          count, [&](index i) { return sample_block(sys, eff[static_cast<std::size_t>(base + i)]); });
+      for (index k = 0; k < count; ++k) {
+        comp.add_columns(blocks[static_cast<std::size_t>(k)]);
+        out.samples_used.push_back(eff[static_cast<std::size_t>(base + k)]);
+
+        if (adaptive && static_cast<index>(out.samples_used.size()) >= opts.min_samples) {
+          // Stop when the sample count comfortably exceeds the order
+          // estimate (the paper's "samples in excess of the model order"
+          // criterion).
+          const index est = comp.order_for_tolerance(opts.truncation_tol);
+          if (static_cast<double>(out.samples_used.size()) >=
+              opts.adaptive_excess * static_cast<double>(est)) {
+            log_debug("pmtbr: adaptive stop after ", out.samples_used.size(), " samples (order ~",
+                      est, ")");
+            stopped = true;
+            break;
+          }
+        }
       }
     }
   }
@@ -91,8 +127,9 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
   PmtbrResult out;
 
   // Novelty of a sample: residual norm of its block after projection onto
-  // the current basis, measured through the compressor's rank growth and
-  // column norms. We compute it directly: absorb, then compare.
+  // the basis as it stood before the block — reported directly by the
+  // compressor from its Gram–Schmidt coefficients, so no extra projection
+  // products are needed.
   struct Interval {
     double f_lo, f_hi;
     double score;  // novelty of the sample that created it
@@ -103,18 +140,8 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
   const auto absorb = [&](double f_hz, double width_hz) {
     FrequencySample fs{cd(0.0, 2.0 * std::numbers::pi * f_hz), 2.0 * std::numbers::pi * width_hz};
     MatD block = sample_block(sys, fs);
-    const double bnorm = la::norm_fro(block);
-    max_block_norm = std::max(max_block_norm, bnorm);
-    // Residual after projection onto the current basis = novelty.
-    double res = bnorm;
-    if (comp.rank() > 0) {
-      const MatD q = comp.basis(comp.rank());
-      const MatD proj = la::matmul(q, la::matmul(la::transpose(q), block));
-      MatD r = block;
-      r -= proj;
-      res = la::norm_fro(r);
-    }
-    comp.add_columns(block);
+    max_block_norm = std::max(max_block_norm, la::norm_fro(block));
+    const double res = comp.add_columns(block);
     out.samples_used.push_back(fs);
     return res;
   };
@@ -164,7 +191,11 @@ std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
   PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
   PMTBR_REQUIRE(!orders.empty(), "need at least one order");
   IncrementalCompressor comp(sys.n());
-  for (const auto& fs : samples) comp.add_columns(sample_block(sys, fs));
+  sys.prepare_shifted(samples.front().s);
+  const auto blocks = util::parallel_map<MatD>(
+      static_cast<index>(samples.size()),
+      [&](index i) { return sample_block(sys, samples[static_cast<std::size_t>(i)]); });
+  for (const auto& block : blocks) comp.add_columns(block);
 
   std::vector<PmtbrResult> out;
   out.reserve(orders.size());

@@ -3,23 +3,35 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/thread_pool.hpp"
+
 namespace pmtbr::signal {
 
 namespace {
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+// Hook for warming per-system caches before the parallel fan-out: sparse
+// descriptor systems freeze their shifted-pencil pivot order here so every
+// pool thread refactors deterministically; dense models need nothing.
+void warm(const DescriptorSystem& sys, double f_hz) {
+  sys.prepare_shifted(la::cd(0.0, kTwoPi * f_hz));
+}
+void warm(const mor::DenseSystem&, double) {}
 
 template <typename System>
 std::vector<AcPoint> sweep_impl(const System& sys, const std::vector<double>& freqs,
                                 la::index out_idx, la::index in_idx) {
   PMTBR_REQUIRE(out_idx < sys.num_outputs() && in_idx < sys.num_inputs(),
                 "transfer entry out of range");
-  std::vector<AcPoint> out;
-  out.reserve(freqs.size());
-  for (const double f : freqs) {
+  if (freqs.empty()) return {};
+  warm(sys, freqs.front());
+  // Every grid point is an independent shifted solve; fan them out and
+  // store each result at its own index.
+  return util::parallel_map<AcPoint>(static_cast<la::index>(freqs.size()), [&](la::index k) {
+    const double f = freqs[static_cast<std::size_t>(k)];
     const la::cd h = sys.transfer(la::cd(0.0, kTwoPi * f))(out_idx, in_idx);
-    out.push_back({f, std::abs(h), std::arg(h)});
-  }
-  return out;
+    return AcPoint{f, std::abs(h), std::arg(h)};
+  });
 }
 
 }  // namespace

@@ -22,6 +22,14 @@ class Triplets {
  public:
   Triplets(index rows, index cols) : rows_(rows), cols_(cols) {}
 
+  /// Pre-sizes the entry arrays; assembly loops with a known nnz estimate
+  /// avoid the repeated small reallocations that dominate large builds.
+  void reserve(std::size_t entries) {
+    i_.reserve(entries);
+    j_.reserve(entries);
+    v_.reserve(entries);
+  }
+
   void add(index i, index j, T v) {
     PMTBR_REQUIRE(0 <= i && i < rows_ && 0 <= j && j < cols_, "triplet out of range");
     if (v == T{}) return;

@@ -4,15 +4,19 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/thread_pool.hpp"
+
 namespace pmtbr::sparse {
 
 namespace {
 
 // Compressed-sparse-column view of a CSR matrix after a symmetric
-// permutation: column j holds rows of A(q, q)(:, j).
+// permutation: column j holds rows of A(q, q)(:, j). `slot` remembers the
+// originating CSR value slot of each entry so a numeric refactorization can
+// scatter straight from a same-pattern matrix's value array.
 template <typename T>
 struct Csc {
-  std::vector<index> ptr, row;
+  std::vector<index> ptr, row, slot;
   std::vector<T> val;
 };
 
@@ -36,6 +40,7 @@ Csc<T> to_permuted_csc(const Csr<T>& a, const std::vector<index>& q) {
   for (index j = 0; j < n; ++j)
     c.ptr[static_cast<std::size_t>(j) + 1] += c.ptr[static_cast<std::size_t>(j)];
   c.row.resize(a.nnz());
+  c.slot.resize(a.nnz());
   c.val.resize(a.nnz());
   std::vector<index> next(c.ptr.begin(), c.ptr.end() - 1);
   for (index i = 0; i < n; ++i) {
@@ -45,6 +50,7 @@ Csc<T> to_permuted_csc(const Csr<T>& a, const std::vector<index>& q) {
       const index pj = inv[static_cast<std::size_t>(a.col_idx()[static_cast<std::size_t>(k)])];
       const index pos = next[static_cast<std::size_t>(pj)]++;
       c.row[static_cast<std::size_t>(pos)] = pi;
+      c.slot[static_cast<std::size_t>(pos)] = k;
       c.val[static_cast<std::size_t>(pos)] = a.values()[static_cast<std::size_t>(k)];
     }
   }
@@ -53,32 +59,68 @@ Csc<T> to_permuted_csc(const Csr<T>& a, const std::vector<index>& q) {
 
 constexpr double kPivotThreshold = 1e-3;  // prefer the diagonal when viable
 
+// Acceptance floor for replaying a frozen pivot order on new values: reject
+// only truly degenerate pivots and let the caller full-factor instead.
+constexpr double kRefactorPivotTol = 1e-10;
+
+std::vector<index> identity_perm(index n) {
+  std::vector<index> q(static_cast<std::size_t>(n));
+  std::iota(q.begin(), q.end(), index{0});
+  return q;
+}
+
 }  // namespace
 
 template <typename T>
 SparseLu<T>::SparseLu(const Csr<T>& a, std::vector<index> perm) {
   PMTBR_REQUIRE(a.rows() == a.cols(), "sparse LU requires a square matrix");
   PMTBR_CHECK_FINITE(a, "sparse LU input matrix");
-  n_ = a.rows();
+  auto pattern = std::make_shared<detail::LuPattern<T>>();
+  pattern->n = a.rows();
   if (perm.empty()) {
-    q_.resize(static_cast<std::size_t>(n_));
-    std::iota(q_.begin(), q_.end(), index{0});
+    pattern->q = identity_perm(a.rows());
   } else {
-    PMTBR_REQUIRE(static_cast<index>(perm.size()) == n_, "perm length mismatch");
-    q_ = std::move(perm);
+    PMTBR_REQUIRE(static_cast<index>(perm.size()) == a.rows(), "perm length mismatch");
+    pattern->q = std::move(perm);
   }
-  factor(a);
+  factor(a, *pattern);
+  pattern_ = std::move(pattern);
 }
 
 template <typename T>
-void SparseLu<T>::factor(const Csr<T>& a) {
-  const Csc<T> ap = to_permuted_csc(a, q_);
-  const index n = n_;
+SymbolicLu<T>::SymbolicLu(const Csr<T>& representative, std::vector<index> perm) {
+  const SparseLu<T> lu(representative, std::move(perm));
+  pattern_ = lu.pattern_;
+}
 
-  pinv_.assign(static_cast<std::size_t>(n), -1);
-  prow_.assign(static_cast<std::size_t>(n), -1);
-  l_ptr_.assign(1, 0);
-  u_ptr_.assign(1, 0);
+template <typename T>
+SymbolicLu<T> SparseLu<T>::symbolic() const {
+  SymbolicLu<T> s(pattern_);
+  return s;
+}
+
+template <typename T>
+std::optional<SparseLu<T>> SparseLu<T>::try_refactor(const SymbolicLu<T>& symbolic,
+                                                     const Csr<T>& a) {
+  PMTBR_REQUIRE(a.rows() == a.cols() && a.rows() == symbolic.n(),
+                "refactor matrix size mismatch");
+  PMTBR_REQUIRE(a.nnz() == symbolic.pattern_->a_nnz, "refactor matrix pattern mismatch");
+  PMTBR_CHECK_FINITE(a, "sparse LU refactor input matrix");
+  SparseLu<T> lu;
+  lu.pattern_ = symbolic.pattern_;
+  if (!lu.refactor(a)) return std::nullopt;
+  return lu;
+}
+
+template <typename T>
+void SparseLu<T>::factor(const Csr<T>& a, detail::LuPattern<T>& pat) {
+  const Csc<T> ap = to_permuted_csc(a, pat.q);
+  const index n = pat.n;
+
+  pat.pinv.assign(static_cast<std::size_t>(n), -1);
+  pat.prow.assign(static_cast<std::size_t>(n), -1);
+  pat.l_ptr.assign(1, 0);
+  pat.u_ptr.assign(1, 0);
   u_diag_.assign(static_cast<std::size_t>(n), T{});
 
   std::vector<T> x(static_cast<std::size_t>(n), T{});
@@ -98,14 +140,14 @@ void SparseLu<T>::factor(const Csr<T>& a) {
       mark[static_cast<std::size_t>(start)] = 1;
       while (!dfs_stack.empty()) {
         const index v = dfs_stack.back();
-        const index kp = pinv_[static_cast<std::size_t>(v)];
+        const index kp = pat.pinv[static_cast<std::size_t>(v)];
         bool descended = false;
         if (kp >= 0) {
           index& p = pos_stack.back();
-          const index lb = l_ptr_[static_cast<std::size_t>(kp)];
-          const index le = l_ptr_[static_cast<std::size_t>(kp) + 1];
+          const index lb = pat.l_ptr[static_cast<std::size_t>(kp)];
+          const index le = pat.l_ptr[static_cast<std::size_t>(kp) + 1];
           while (lb + p < le) {
-            const index child = l_row_[static_cast<std::size_t>(lb + p)];
+            const index child = pat.l_row[static_cast<std::size_t>(lb + p)];
             ++p;
             if (!mark[static_cast<std::size_t>(child)]) {
               mark[static_cast<std::size_t>(child)] = 1;
@@ -133,13 +175,13 @@ void SparseLu<T>::factor(const Csr<T>& a) {
           ap.val[static_cast<std::size_t>(k)];
 
     for (index v : pattern) {
-      const index kp = pinv_[static_cast<std::size_t>(v)];
+      const index kp = pat.pinv[static_cast<std::size_t>(v)];
       if (kp < 0) continue;
       const T xv = x[static_cast<std::size_t>(v)];
       if (xv == T{}) continue;
-      for (index k = l_ptr_[static_cast<std::size_t>(kp)];
-           k < l_ptr_[static_cast<std::size_t>(kp) + 1]; ++k)
-        x[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(k)])] -=
+      for (index k = pat.l_ptr[static_cast<std::size_t>(kp)];
+           k < pat.l_ptr[static_cast<std::size_t>(kp) + 1]; ++k)
+        x[static_cast<std::size_t>(pat.l_row[static_cast<std::size_t>(k)])] -=
             l_val_[static_cast<std::size_t>(k)] * xv;
     }
 
@@ -148,7 +190,7 @@ void SparseLu<T>::factor(const Csr<T>& a) {
     double best = 0;
     double diag_mag = -1;
     for (index v : pattern) {
-      if (pinv_[static_cast<std::size_t>(v)] >= 0) continue;
+      if (pat.pinv[static_cast<std::size_t>(v)] >= 0) continue;
       const double m = std::abs(la::cd(x[static_cast<std::size_t>(v)]));
       if (v == j) diag_mag = m;
       if (m > best) {
@@ -159,102 +201,176 @@ void SparseLu<T>::factor(const Csr<T>& a) {
     PMTBR_ENSURE(pivot >= 0 && best > 0, "structurally or numerically singular matrix");
     if (diag_mag >= kPivotThreshold * best) pivot = j;
 
-    pinv_[static_cast<std::size_t>(pivot)] = j;
-    prow_[static_cast<std::size_t>(j)] = pivot;
+    pat.pinv[static_cast<std::size_t>(pivot)] = j;
+    pat.prow[static_cast<std::size_t>(j)] = pivot;
     const T piv = x[static_cast<std::size_t>(pivot)];
     u_diag_[static_cast<std::size_t>(j)] = piv;
 
     // --- gather U(:,j) (pivotal rows) and L(:,j) (non-pivotal rows) ------
+    // Exact-zero L entries are kept: the frozen pattern must cover every
+    // structurally reachable position so a numeric replay at other values
+    // (where they are generally nonzero) stays correct.
     for (index v : pattern) {
-      const index kp = pinv_[static_cast<std::size_t>(v)];
+      const index kp = pat.pinv[static_cast<std::size_t>(v)];
       if (v == pivot) {
         // pivot handled via u_diag_
       } else if (kp >= 0 && kp < j) {
-        u_row_.push_back(kp);
+        pat.u_row.push_back(kp);
         u_val_.push_back(x[static_cast<std::size_t>(v)]);
       } else {
-        const T lv = x[static_cast<std::size_t>(v)] / piv;
-        if (lv != T{}) {
-          l_row_.push_back(v);  // permuted-row index; remapped after factor
-          l_val_.push_back(lv);
-        }
+        pat.l_row.push_back(v);  // permuted-row index; remapped after factor
+        l_val_.push_back(x[static_cast<std::size_t>(v)] / piv);
       }
       x[static_cast<std::size_t>(v)] = T{};
       mark[static_cast<std::size_t>(v)] = 0;
     }
-    l_ptr_.push_back(static_cast<index>(l_row_.size()));
-    u_ptr_.push_back(static_cast<index>(u_row_.size()));
+    pat.l_ptr.push_back(static_cast<index>(pat.l_row.size()));
+    pat.u_ptr.push_back(static_cast<index>(pat.u_row.size()));
   }
 
   // Remap L row indices from permuted-row space to pivot positions so the
   // triangular solves are direct.
-  for (auto& r : l_row_) r = pinv_[static_cast<std::size_t>(r)];
+  for (auto& r : pat.l_row) r = pat.pinv[static_cast<std::size_t>(r)];
+
+  // Scatter map in pivot-position space for numeric refactorization.
+  pat.a_ptr = ap.ptr;
+  pat.a_nnz = a.nnz();
+  pat.a_pos.resize(a.nnz());
+  pat.a_slot = ap.slot;
+  for (std::size_t t = 0; t < a.nnz(); ++t)
+    pat.a_pos[t] = pat.pinv[static_cast<std::size_t>(ap.row[t])];
+}
+
+template <typename T>
+bool SparseLu<T>::refactor(const Csr<T>& a) {
+  const auto& pat = *pattern_;
+  const index n = pat.n;
+  const auto& vals = a.values();
+
+  l_val_.assign(pat.l_row.size(), T{});
+  u_val_.assign(pat.u_row.size(), T{});
+  u_diag_.assign(static_cast<std::size_t>(n), T{});
+
+  // Dense workspace in pivot-position space; zero between columns.
+  std::vector<T> x(static_cast<std::size_t>(n), T{});
+
+  for (index j = 0; j < n; ++j) {
+    for (index t = pat.a_ptr[static_cast<std::size_t>(j)];
+         t < pat.a_ptr[static_cast<std::size_t>(j) + 1]; ++t)
+      x[static_cast<std::size_t>(pat.a_pos[static_cast<std::size_t>(t)])] =
+          vals[static_cast<std::size_t>(pat.a_slot[static_cast<std::size_t>(t)])];
+
+    // Eliminate along the frozen U pattern (stored in elimination order).
+    for (index t = pat.u_ptr[static_cast<std::size_t>(j)];
+         t < pat.u_ptr[static_cast<std::size_t>(j) + 1]; ++t) {
+      const index kp = pat.u_row[static_cast<std::size_t>(t)];
+      const T xv = x[static_cast<std::size_t>(kp)];
+      u_val_[static_cast<std::size_t>(t)] = xv;
+      if (xv == T{}) continue;
+      for (index p = pat.l_ptr[static_cast<std::size_t>(kp)];
+           p < pat.l_ptr[static_cast<std::size_t>(kp) + 1]; ++p)
+        x[static_cast<std::size_t>(pat.l_row[static_cast<std::size_t>(p)])] -=
+            l_val_[static_cast<std::size_t>(p)] * xv;
+    }
+
+    // The pivot row is frozen at position j; accept it only if it is not
+    // degenerate relative to the candidates a fresh factorization could
+    // have picked for this column.
+    const T piv = x[static_cast<std::size_t>(j)];
+    const double piv_mag = std::abs(la::cd(piv));
+    double best = piv_mag;
+    for (index p = pat.l_ptr[static_cast<std::size_t>(j)];
+         p < pat.l_ptr[static_cast<std::size_t>(j) + 1]; ++p)
+      best = std::max(best,
+                      std::abs(la::cd(x[static_cast<std::size_t>(
+                          pat.l_row[static_cast<std::size_t>(p)])])));
+    if (!(piv_mag > 0) || piv_mag < kRefactorPivotTol * best) return false;
+    u_diag_[static_cast<std::size_t>(j)] = piv;
+
+    for (index p = pat.l_ptr[static_cast<std::size_t>(j)];
+         p < pat.l_ptr[static_cast<std::size_t>(j) + 1]; ++p) {
+      const index r = pat.l_row[static_cast<std::size_t>(p)];
+      l_val_[static_cast<std::size_t>(p)] = x[static_cast<std::size_t>(r)] / piv;
+      x[static_cast<std::size_t>(r)] = T{};
+    }
+    for (index t = pat.u_ptr[static_cast<std::size_t>(j)];
+         t < pat.u_ptr[static_cast<std::size_t>(j) + 1]; ++t)
+      x[static_cast<std::size_t>(pat.u_row[static_cast<std::size_t>(t)])] = T{};
+    x[static_cast<std::size_t>(j)] = T{};
+  }
+  return true;
 }
 
 template <typename T>
 std::vector<T> SparseLu<T>::solve(std::vector<T> b) const {
-  PMTBR_REQUIRE(static_cast<index>(b.size()) == n_, "rhs length mismatch");
+  const auto& pat = *pattern_;
+  const index n = pat.n;
+  PMTBR_REQUIRE(static_cast<index>(b.size()) == n, "rhs length mismatch");
   // y[k] = b[q[prow[k]]]  (apply symmetric perm then pivot perm).
-  std::vector<T> y(static_cast<std::size_t>(n_));
-  for (index k = 0; k < n_; ++k)
-    y[static_cast<std::size_t>(k)] =
-        b[static_cast<std::size_t>(q_[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])])];
+  std::vector<T> y(static_cast<std::size_t>(n));
+  for (index k = 0; k < n; ++k)
+    y[static_cast<std::size_t>(k)] = b[static_cast<std::size_t>(
+        pat.q[static_cast<std::size_t>(pat.prow[static_cast<std::size_t>(k)])])];
   // L forward (unit diagonal).
-  for (index k = 0; k < n_; ++k) {
+  for (index k = 0; k < n; ++k) {
     const T t = y[static_cast<std::size_t>(k)];
     if (t == T{}) continue;
-    for (index p = l_ptr_[static_cast<std::size_t>(k)]; p < l_ptr_[static_cast<std::size_t>(k) + 1];
-         ++p)
-      y[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])] -=
+    for (index p = pat.l_ptr[static_cast<std::size_t>(k)];
+         p < pat.l_ptr[static_cast<std::size_t>(k) + 1]; ++p)
+      y[static_cast<std::size_t>(pat.l_row[static_cast<std::size_t>(p)])] -=
           l_val_[static_cast<std::size_t>(p)] * t;
   }
   // U backward.
-  for (index k = n_ - 1; k >= 0; --k) {
+  for (index k = n - 1; k >= 0; --k) {
     const T t = y[static_cast<std::size_t>(k)] / u_diag_[static_cast<std::size_t>(k)];
     y[static_cast<std::size_t>(k)] = t;
     if (t == T{}) continue;
-    for (index p = u_ptr_[static_cast<std::size_t>(k)]; p < u_ptr_[static_cast<std::size_t>(k) + 1];
-         ++p)
-      y[static_cast<std::size_t>(u_row_[static_cast<std::size_t>(p)])] -=
+    for (index p = pat.u_ptr[static_cast<std::size_t>(k)];
+         p < pat.u_ptr[static_cast<std::size_t>(k) + 1]; ++p)
+      y[static_cast<std::size_t>(pat.u_row[static_cast<std::size_t>(p)])] -=
           u_val_[static_cast<std::size_t>(p)] * t;
   }
   // x[q[j]] = y[j].
-  std::vector<T> out(static_cast<std::size_t>(n_));
-  for (index jj = 0; jj < n_; ++jj)
-    out[static_cast<std::size_t>(q_[static_cast<std::size_t>(jj)])] = y[static_cast<std::size_t>(jj)];
+  std::vector<T> out(static_cast<std::size_t>(n));
+  for (index jj = 0; jj < n; ++jj)
+    out[static_cast<std::size_t>(pat.q[static_cast<std::size_t>(jj)])] =
+        y[static_cast<std::size_t>(jj)];
   return out;
 }
 
 template <typename T>
 std::vector<T> SparseLu<T>::solve_transpose(std::vector<T> b) const {
-  PMTBR_REQUIRE(static_cast<index>(b.size()) == n_, "rhs length mismatch");
+  const auto& pat = *pattern_;
+  const index n = pat.n;
+  PMTBR_REQUIRE(static_cast<index>(b.size()) == n, "rhs length mismatch");
   // bp[j] = b[q[j]].
-  std::vector<T> w(static_cast<std::size_t>(n_));
-  for (index jj = 0; jj < n_; ++jj)
-    w[static_cast<std::size_t>(jj)] = b[static_cast<std::size_t>(q_[static_cast<std::size_t>(jj)])];
+  std::vector<T> w(static_cast<std::size_t>(n));
+  for (index jj = 0; jj < n; ++jj)
+    w[static_cast<std::size_t>(jj)] =
+        b[static_cast<std::size_t>(pat.q[static_cast<std::size_t>(jj)])];
   // U^T forward: column j of U is row j of U^T.
-  for (index jj = 0; jj < n_; ++jj) {
+  for (index jj = 0; jj < n; ++jj) {
     T acc = w[static_cast<std::size_t>(jj)];
-    for (index p = u_ptr_[static_cast<std::size_t>(jj)];
-         p < u_ptr_[static_cast<std::size_t>(jj) + 1]; ++p)
+    for (index p = pat.u_ptr[static_cast<std::size_t>(jj)];
+         p < pat.u_ptr[static_cast<std::size_t>(jj) + 1]; ++p)
       acc -= u_val_[static_cast<std::size_t>(p)] *
-             w[static_cast<std::size_t>(u_row_[static_cast<std::size_t>(p)])];
+             w[static_cast<std::size_t>(pat.u_row[static_cast<std::size_t>(p)])];
     w[static_cast<std::size_t>(jj)] = acc / u_diag_[static_cast<std::size_t>(jj)];
   }
   // L^T backward (unit diagonal).
-  for (index jj = n_ - 1; jj >= 0; --jj) {
+  for (index jj = n - 1; jj >= 0; --jj) {
     T acc = w[static_cast<std::size_t>(jj)];
-    for (index p = l_ptr_[static_cast<std::size_t>(jj)];
-         p < l_ptr_[static_cast<std::size_t>(jj) + 1]; ++p)
+    for (index p = pat.l_ptr[static_cast<std::size_t>(jj)];
+         p < pat.l_ptr[static_cast<std::size_t>(jj) + 1]; ++p)
       acc -= l_val_[static_cast<std::size_t>(p)] *
-             w[static_cast<std::size_t>(l_row_[static_cast<std::size_t>(p)])];
+             w[static_cast<std::size_t>(pat.l_row[static_cast<std::size_t>(p)])];
     w[static_cast<std::size_t>(jj)] = acc;
   }
   // x[q[prow[k]]] = w[k].
-  std::vector<T> out(static_cast<std::size_t>(n_));
-  for (index k = 0; k < n_; ++k)
+  std::vector<T> out(static_cast<std::size_t>(n));
+  for (index k = 0; k < n; ++k)
     out[static_cast<std::size_t>(
-        q_[static_cast<std::size_t>(prow_[static_cast<std::size_t>(k)])])] =
+        pat.q[static_cast<std::size_t>(pat.prow[static_cast<std::size_t>(k)])])] =
         w[static_cast<std::size_t>(k)];
   return out;
 }
@@ -274,13 +390,15 @@ std::vector<T> SparseLu<T>::solve_adjoint(const std::vector<T>& b) const {
 
 template <typename T>
 la::Matrix<T> SparseLu<T>::solve(const la::Matrix<T>& b) const {
-  PMTBR_REQUIRE(b.rows() == n_, "rhs row mismatch");
+  PMTBR_REQUIRE(b.rows() == pattern_->n, "rhs row mismatch");
   la::Matrix<T> x(b.rows(), b.cols());
-  for (index j = 0; j < b.cols(); ++j) x.set_col(j, solve(b.col(j)));
+  util::parallel_for(0, b.cols(), [&](index j) { x.set_col(j, solve(b.col(j))); });
   return x;
 }
 
 template class SparseLu<double>;
 template class SparseLu<cd>;
+template class SymbolicLu<double>;
+template class SymbolicLu<cd>;
 
 }  // namespace pmtbr::sparse

@@ -1,11 +1,18 @@
 // Sparse LU factorization (Gilbert–Peierls left-looking, partial pivoting)
-// templated on scalar, with optional symmetric fill-reducing pre-ordering.
+// templated on scalar, with optional symmetric fill-reducing pre-ordering —
+// split into a reusable symbolic analysis and a cheap numeric phase.
 //
 // This is the workhorse behind every shifted solve (s_k E - A)^{-1} B in
-// PMTBR, the transient integrator, and AC sweeps. Factoring many pencils
-// with an identical pattern reuses one precomputed RCM ordering.
+// PMTBR, the transient integrator, and AC sweeps. All shifted pencils
+// s_k E - A share one sparsity pattern (shifted_pencil() emits the union
+// pattern for every s), so the expensive per-column reachability DFS, the
+// pivot sequence, and the L/U fill patterns are computed once (SymbolicLu)
+// and every further shift is a numeric-only replay (SparseLu::try_refactor)
+// that touches each stored nonzero exactly once.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "la/matrix.hpp"
@@ -13,16 +20,81 @@
 
 namespace pmtbr::sparse {
 
+namespace detail {
+
+// Frozen elimination structure shared by a symbolic analysis and every
+// numeric factorization replayed from it. Immutable after construction.
+template <typename T>
+struct LuPattern {
+  index n = 0;
+  std::vector<index> q;     // symmetric pre-permutation (possibly identity)
+  std::vector<index> pinv;  // pinv[permuted-row] = pivot position
+  std::vector<index> prow;  // prow[pivot position] = permuted-row
+
+  // L (unit diagonal implicit) and U in compressed column form, pivot-row
+  // indexed: L rows are pivot positions > column, U rows are < column and
+  // stored in elimination (topological) order.
+  std::vector<index> l_ptr, l_row;
+  std::vector<index> u_ptr, u_row;
+
+  // Scatter map for numeric refactorization: per permuted column j, the
+  // pivot-position destination and CSR value slot of each entry of A.
+  std::vector<index> a_ptr, a_pos, a_slot;
+  std::size_t a_nnz = 0;
+};
+
+}  // namespace detail
+
+template <typename T>
+class SparseLu;
+
+/// Reusable symbolic factorization: runs one full Gilbert–Peierls pass on a
+/// representative matrix and freezes its elimination structure. Safe to
+/// share (const) across threads; numeric factorizations for any matrix with
+/// the SAME CSR layout are then obtained via SparseLu::try_refactor.
+template <typename T>
+class SymbolicLu {
+ public:
+  /// Analyzes `representative` (square). `perm` as in SparseLu.
+  explicit SymbolicLu(const Csr<T>& representative, std::vector<index> perm = {});
+
+  index n() const { return pattern_->n; }
+  std::size_t nnz_factors() const {
+    return pattern_->l_row.size() + pattern_->u_row.size() +
+           static_cast<std::size_t>(pattern_->n);
+  }
+
+ private:
+  friend class SparseLu<T>;
+  explicit SymbolicLu(std::shared_ptr<const detail::LuPattern<T>> pattern)
+      : pattern_(std::move(pattern)) {}
+
+  std::shared_ptr<const detail::LuPattern<T>> pattern_;
+};
+
 template <typename T>
 class SparseLu {
  public:
-  /// Factors A (square). If `perm` is nonempty it is applied symmetrically
-  /// (rows and columns) before factorization; partial pivoting still
-  /// permutes rows within the factorization for stability.
+  /// Factors A (square) from scratch. If `perm` is nonempty it is applied
+  /// symmetrically (rows and columns) before factorization; partial
+  /// pivoting still permutes rows within the factorization for stability.
   explicit SparseLu(const Csr<T>& a, std::vector<index> perm = {});
 
-  index n() const { return n_; }
+  /// Numeric-only refactorization of `a` against a frozen symbolic
+  /// analysis. `a` must have the same CSR layout (row_ptr/col_idx) as the
+  /// symbolic representative. Returns nullopt when the frozen pivot order
+  /// is numerically inadequate for these values (degenerate pivot); the
+  /// caller should fall back to a full factorization with fresh pivoting.
+  /// The replay is deterministic: identical inputs give bit-identical
+  /// factors on every thread.
+  static std::optional<SparseLu> try_refactor(const SymbolicLu<T>& symbolic, const Csr<T>& a);
+
+  index n() const { return pattern_->n; }
   std::size_t nnz_factors() const { return l_val_.size() + u_val_.size(); }
+
+  /// The elimination structure of this factorization, shareable for
+  /// numeric-only refactorization of further same-pattern matrices.
+  SymbolicLu<T> symbolic() const;
 
   /// Solves A x = b.
   std::vector<T> solve(std::vector<T> b) const;
@@ -34,27 +106,25 @@ class SparseLu {
   /// Solves A^H x = b (conjugate transpose).
   std::vector<T> solve_adjoint(const std::vector<T>& b) const;
 
-  /// Column-wise solve A X = B for a dense right-hand side.
+  /// Column-wise solve A X = B for a dense right-hand side; columns are
+  /// independent and fan out across the shared thread pool.
   la::Matrix<T> solve(const la::Matrix<T>& b) const;
 
  private:
-  void factor(const Csr<T>& a);
+  friend class SymbolicLu<T>;
+  SparseLu() = default;
+  void factor(const Csr<T>& a, detail::LuPattern<T>& pat);
+  bool refactor(const Csr<T>& a);
 
-  index n_ = 0;
-  std::vector<index> q_;     // symmetric pre-permutation (possibly identity)
-  std::vector<index> pinv_;  // pinv_[permuted-row] = pivot position
-  std::vector<index> prow_;  // prow_[pivot position] = permuted-row
-
-  // L (unit diagonal implicit) and U in compressed column form, pivot-row
-  // indexed: L rows are pivot positions > column, U rows are <= column.
-  std::vector<index> l_ptr_, l_row_;
+  std::shared_ptr<const detail::LuPattern<T>> pattern_;
   std::vector<T> l_val_;
-  std::vector<index> u_ptr_, u_row_;
   std::vector<T> u_val_;
   std::vector<T> u_diag_;
 };
 
 using SparseLuD = SparseLu<double>;
 using SparseLuC = SparseLu<cd>;
+using SymbolicLuD = SymbolicLu<double>;
+using SymbolicLuC = SymbolicLu<cd>;
 
 }  // namespace pmtbr::sparse

@@ -1,0 +1,151 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace pmtbr::util {
+
+namespace {
+
+// Set while a thread is executing pool work; parallel_for from such a thread
+// must run inline or the nested wait could deadlock the queue.
+thread_local bool tl_inside_pool_task = false;
+
+// One parallel_for invocation shared by its chunk tasks.
+struct ForJob {
+  index end = 0;
+  index chunk = 1;
+  std::atomic<index> next{0};
+  const std::function<void(index)>* fn = nullptr;
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int pending_tasks = 0;
+  std::exception_ptr error;
+  std::atomic<bool> abort{false};
+
+  // Grabs chunks until the range (or the job, on error) is exhausted.
+  void run_chunks() {
+    while (!abort.load(std::memory_order_relaxed)) {
+      const index lo = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (lo >= end) break;
+      const index hi = std::min<index>(lo + chunk, end);
+      try {
+        for (index i = lo; i < hi; ++i) {
+          if (abort.load(std::memory_order_relaxed)) return;
+          (*fn)(i);
+        }
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!error) error = std::current_exception();
+        abort.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads) {
+  const int workers = std::max(threads, 1) - 1;
+  workers_.reserve(static_cast<std::size_t>(workers));
+  for (int t = 0; t < workers; ++t) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  tl_inside_pool_task = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(index begin, index end, const std::function<void(index)>& fn) {
+  if (begin >= end) return;
+  const index count = end - begin;
+  if (count == 1 || size() == 1 || tl_inside_pool_task) {
+    for (index i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto job = std::make_shared<ForJob>();
+  job->end = count;
+  // ~4 chunks per thread balances scheduling overhead against load skew.
+  job->chunk = std::max<index>(1, count / (static_cast<index>(size()) * 4));
+  const std::function<void(index)> shifted = [&](index i) { fn(begin + i); };
+  job->fn = &shifted;
+
+  const int helpers =
+      static_cast<int>(std::min<index>(count, static_cast<index>(workers_.size())));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->pending_tasks = helpers;
+    for (int t = 0; t < helpers; ++t)
+      tasks_.push([job] {
+        job->run_chunks();
+        std::lock_guard<std::mutex> jlock(job->mutex);
+        if (--job->pending_tasks == 0) job->done_cv.notify_all();
+      });
+  }
+  cv_.notify_all();
+
+  job->run_chunks();  // the caller is a full participant
+
+  std::unique_lock<std::mutex> lock(job->mutex);
+  job->done_cv.wait(lock, [&] { return job->pending_tasks == 0; });
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+int resolve_num_threads(const char* env_value) {
+  if (env_value != nullptr) {
+    char* parse_end = nullptr;
+    const long v = std::strtol(env_value, &parse_end, 10);
+    if (parse_end != env_value && *parse_end == '\0' && v >= 1 && v <= 1024)
+      return static_cast<int>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;  // NOLINT: intentional process-lifetime pool
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool)
+    g_pool = std::make_unique<ThreadPool>(resolve_num_threads(std::getenv("PMTBR_NUM_THREADS")));
+  return *g_pool;
+}
+
+void set_global_threads(int threads) {
+  auto fresh = std::make_unique<ThreadPool>(std::max(threads, 1));
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::move(fresh);
+}
+
+}  // namespace pmtbr::util

@@ -1,0 +1,88 @@
+// Shared fixed-size thread pool plus parallel_for / parallel_map helpers —
+// the execution layer behind the parallel sampling pipeline.
+//
+// Design constraints (see docs/PERFORMANCE.md):
+//  - Deterministic results: parallel_for chunks an index range dynamically,
+//    but every index runs exactly the same computation it would serially and
+//    parallel_map stores results by index, so outputs are order-independent.
+//  - Nested-safe: a parallel_for issued from inside a pool worker runs
+//    inline (serially) on that worker instead of deadlocking on the queue.
+//  - Exception-safe: the first exception thrown by any chunk is captured,
+//    remaining chunks are abandoned, and the exception is rethrown on the
+//    calling thread once all workers have quiesced.
+//
+// Pool size resolution: PMTBR_NUM_THREADS (positive integer) wins, else
+// std::thread::hardware_concurrency(), clamped to >= 1. A size of 1 means
+// "no worker threads": every parallel_for runs inline on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pmtbr::util {
+
+using index = std::ptrdiff_t;
+
+class ThreadPool {
+ public:
+  /// Spawns `threads - 1` workers; the calling thread participates in every
+  /// parallel_for, so `threads` is the total parallelism.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total parallelism (workers + the calling thread).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [begin, end), blocking until all complete.
+  /// Empty or single-element ranges, a pool of size 1, and nested calls all
+  /// run inline on the caller.
+  void parallel_for(index begin, index end, const std::function<void(index)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stop_ = false;
+};
+
+/// The process-wide pool, created on first use with resolve_num_threads().
+ThreadPool& global_pool();
+
+/// Replaces the global pool with one of `threads` total parallelism.
+/// Intended for benches and tests sweeping thread counts; must not be called
+/// while parallel work is in flight.
+void set_global_threads(int threads);
+
+/// PMTBR_NUM_THREADS env override -> hardware_concurrency -> 1.
+/// `env_value` is the raw environment string (nullptr = unset); exposed for
+/// testing the parsing rules.
+int resolve_num_threads(const char* env_value);
+
+/// Convenience: parallel_for over the global pool.
+inline void parallel_for(index begin, index end, const std::function<void(index)>& fn) {
+  global_pool().parallel_for(begin, end, fn);
+}
+
+/// Maps fn over [0, n) on the global pool; results land at their own index,
+/// so the output is identical to the serial map regardless of scheduling.
+/// R must be default-constructible and movable.
+template <typename R, typename F>
+std::vector<R> parallel_map(index n, F&& fn) {
+  std::vector<R> out(static_cast<std::size_t>(n));
+  global_pool().parallel_for(0, n,
+                             [&](index i) { out[static_cast<std::size_t>(i)] = fn(i); });
+  return out;
+}
+
+}  // namespace pmtbr::util

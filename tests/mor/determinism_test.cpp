@@ -1,0 +1,142 @@
+// Determinism of the parallel sampling pipeline: PMTBR at 4 threads must
+// produce bit-identical reduced models to PMTBR at 1 thread. The pipeline
+// guarantees this by freezing the symbolic pivot order before fan-out and
+// committing sample blocks in sample order.
+#include <gtest/gtest.h>
+
+#include "circuit/generators.hpp"
+#include "la/ops.hpp"
+#include "mor/pmtbr.hpp"
+#include "mor/sampling.hpp"
+#include "signal/ac.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pmtbr::mor {
+namespace {
+
+// Restores the default pool size even if a test fails mid-way.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int n) { util::set_global_threads(n); }
+  ~ScopedThreads() { util::set_global_threads(util::resolve_num_threads(nullptr)); }
+};
+
+DescriptorSystem mesh_system() {
+  circuit::RcMeshParams p;
+  p.rows = 10;
+  p.cols = 10;
+  p.num_ports = 3;
+  return circuit::make_rc_mesh(p);
+}
+
+void expect_bit_identical(const MatD& a, const MatD& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (la::index i = 0; i < a.rows(); ++i)
+    for (la::index j = 0; j < a.cols(); ++j)
+      EXPECT_EQ(a(i, j), b(i, j)) << "entry (" << i << ", " << j << ")";
+}
+
+PmtbrResult run_pmtbr(int threads, bool adaptive_stop) {
+  ScopedThreads guard(threads);
+  const auto sys = mesh_system();  // fresh system: no caches shared across runs
+  PmtbrOptions opts;
+  opts.bands = {Band{1e5, 5e10}};
+  opts.num_samples = 16;
+  opts.fixed_order = 8;
+  if (adaptive_stop) {
+    opts.adaptive_excess = 2.0;
+    opts.min_samples = 4;
+    opts.fixed_order = -1;
+    opts.truncation_tol = 1e-6;
+  }
+  return pmtbr(sys, opts);
+}
+
+TEST(ParallelDeterminism, PmtbrMatchesSerialBitForBit) {
+  const auto serial = run_pmtbr(1, false);
+  const auto parallel = run_pmtbr(4, false);
+
+  expect_bit_identical(serial.model.v, parallel.model.v);
+  expect_bit_identical(serial.model.system.a(), parallel.model.system.a());
+  expect_bit_identical(serial.model.system.b(), parallel.model.system.b());
+  expect_bit_identical(serial.model.system.c(), parallel.model.system.c());
+  expect_bit_identical(serial.model.system.e(), parallel.model.system.e());
+  ASSERT_EQ(serial.model.singular_values.size(), parallel.model.singular_values.size());
+  for (std::size_t i = 0; i < serial.model.singular_values.size(); ++i)
+    EXPECT_EQ(serial.model.singular_values[i], parallel.model.singular_values[i]);
+}
+
+TEST(ParallelDeterminism, AdaptiveStopCommitsIdenticalSamplePrefix) {
+  const auto serial = run_pmtbr(1, true);
+  const auto parallel = run_pmtbr(4, true);
+
+  ASSERT_EQ(serial.samples_used.size(), parallel.samples_used.size());
+  for (std::size_t i = 0; i < serial.samples_used.size(); ++i) {
+    EXPECT_EQ(serial.samples_used[i].s, parallel.samples_used[i].s);
+    EXPECT_EQ(serial.samples_used[i].weight, parallel.samples_used[i].weight);
+  }
+  expect_bit_identical(serial.model.v, parallel.model.v);
+  expect_bit_identical(serial.model.system.a(), parallel.model.system.a());
+}
+
+TEST(ParallelDeterminism, OrderSweepMatchesSerial) {
+  const auto samples = sample_bands({Band{1e6, 1e10}}, 12, SamplingScheme::kLogarithmic);
+  const std::vector<la::index> orders{2, 4, 8};
+
+  std::vector<PmtbrResult> serial, parallel;
+  {
+    ScopedThreads guard(1);
+    serial = pmtbr_order_sweep(mesh_system(), samples, orders);
+  }
+  {
+    ScopedThreads guard(4);
+    parallel = pmtbr_order_sweep(mesh_system(), samples, orders);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t k = 0; k < serial.size(); ++k) {
+    expect_bit_identical(serial[k].model.v, parallel[k].model.v);
+    expect_bit_identical(serial[k].model.system.a(), parallel[k].model.system.a());
+  }
+}
+
+TEST(ParallelDeterminism, AcSweepMatchesSerial) {
+  std::vector<double> freqs;
+  for (int k = 0; k < 40; ++k) freqs.push_back(1e6 * std::pow(10.0, 0.1 * k));
+
+  std::vector<signal::AcPoint> serial, parallel;
+  {
+    ScopedThreads guard(1);
+    serial = signal::ac_sweep(mesh_system(), freqs, 0, 0);
+  }
+  {
+    ScopedThreads guard(4);
+    parallel = signal::ac_sweep(mesh_system(), freqs, 0, 0);
+  }
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].f_hz, parallel[i].f_hz);
+    EXPECT_EQ(serial[i].magnitude, parallel[i].magnitude);
+    EXPECT_EQ(serial[i].phase_rad, parallel[i].phase_rad);
+  }
+}
+
+TEST(ParallelDeterminism, ConcurrentShiftedSolvesOnOneSystemAreSafe) {
+  // Hammer one DescriptorSystem's lazy caches from many pool tasks at once
+  // (exactly what the sampling pipeline does); under TSan this doubles as
+  // the race check for ordering()/symbolic caching.
+  const auto sys = mesh_system();
+  ScopedThreads guard(4);
+  const la::MatC b = la::to_complex(sys.b());
+  const auto results = util::parallel_map<la::MatC>(16, [&](la::index i) {
+    return sys.solve_shifted(la::cd(0.0, 1e7 * static_cast<double>(i + 1)), b);
+  });
+  // Spot-check against fresh serial solves.
+  for (la::index i : {la::index{0}, la::index{7}, la::index{15}}) {
+    const auto ref = sys.solve_shifted(la::cd(0.0, 1e7 * static_cast<double>(i + 1)), b);
+    EXPECT_LT(la::max_abs_diff(results[static_cast<std::size_t>(i)], ref), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pmtbr::mor

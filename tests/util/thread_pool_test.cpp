@@ -1,0 +1,104 @@
+// Thread-pool unit tests: coverage of the index range, deterministic
+// parallel_map placement, exception propagation, empty ranges, nested
+// usage, and the PMTBR_NUM_THREADS resolution rules.
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace pmtbr::util {
+namespace {
+
+TEST(ThreadPool, EmptyAndReversedRangesAreNoops) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, 0, [&](index) { ++calls; });
+  pool.parallel_for(5, 5, [&](index) { ++calls; });
+  pool.parallel_for(7, 3, [&](index) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPool, EveryIndexRunsExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr index kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(0, kN, [&](index i) { ++hits[static_cast<std::size_t>(i)]; });
+  for (index i = 0; i < kN; ++i) EXPECT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(ThreadPool, NonZeroBeginIsRespected) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(10, 20, [&](index i) { sum += i; });
+  EXPECT_EQ(sum.load(), 145);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1);
+  const auto caller = std::this_thread::get_id();
+  pool.parallel_for(0, 8, [&](index) { EXPECT_EQ(std::this_thread::get_id(), caller); });
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(0, 100,
+                                 [&](index i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool survives a failed job and accepts new work.
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 10, [&](index) { ++calls; });
+  EXPECT_EQ(calls.load(), 10);
+}
+
+TEST(ThreadPool, NestedParallelForCompletesSerially) {
+  ThreadPool pool(4);
+  constexpr index kOuter = 8;
+  constexpr index kInner = 16;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.parallel_for(0, kOuter, [&](index o) {
+    // Nested calls must run inline instead of deadlocking on the queue.
+    pool.parallel_for(0, kInner,
+                      [&](index i) { ++hits[static_cast<std::size_t>(o * kInner + i)]; });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelMapPlacesResultsByIndex) {
+  set_global_threads(4);
+  const auto out = parallel_map<index>(64, [](index i) { return i * i; });
+  ASSERT_EQ(out.size(), 64u);
+  for (index i = 0; i < 64; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  set_global_threads(resolve_num_threads(nullptr));
+}
+
+TEST(ThreadPool, SetGlobalThreadsControlsPoolSize) {
+  set_global_threads(3);
+  EXPECT_EQ(global_pool().size(), 3);
+  set_global_threads(1);
+  EXPECT_EQ(global_pool().size(), 1);
+  set_global_threads(resolve_num_threads(nullptr));
+}
+
+TEST(ThreadPool, ResolveNumThreadsParsesEnvOverride) {
+  EXPECT_EQ(resolve_num_threads("4"), 4);
+  EXPECT_EQ(resolve_num_threads("1"), 1);
+  const int hw = resolve_num_threads(nullptr);
+  EXPECT_GE(hw, 1);
+  // Garbage, non-positive, and absurd values fall back to hardware.
+  EXPECT_EQ(resolve_num_threads("zero"), hw);
+  EXPECT_EQ(resolve_num_threads("4x"), hw);
+  EXPECT_EQ(resolve_num_threads("0"), hw);
+  EXPECT_EQ(resolve_num_threads("-2"), hw);
+  EXPECT_EQ(resolve_num_threads("99999"), hw);
+  EXPECT_EQ(resolve_num_threads(""), hw);
+}
+
+}  // namespace
+}  // namespace pmtbr::util
