@@ -50,5 +50,6 @@ int main() {
   bench::note("finding: adaptive placement pays off at very tight budgets (resonances");
   bench::note("missed by a coarse grid); with a modest uniform budget the two converge —");
   bench::note("consistent with the paper's remark that point selection was not problematic");
+  bench::write_run_manifest("ablation_adaptive");
   return 0;
 }

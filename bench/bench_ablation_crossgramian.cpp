@@ -47,5 +47,6 @@ int main() {
     const auto e2 = mor::compare_on_grid(sys, two.model.system, grid);
     csv.row({static_cast<double>(q), e1.max_rel, e2.max_rel});
   }
+  bench::write_run_manifest("ablation_crossgramian");
   return 0;
 }

@@ -57,5 +57,6 @@ int main() {
                 bench::out_path("ablation_draws"));
   csv.row({0.0, run(0, 1)});  // deterministic blocked variant
   for (const index d : {1, 2, 4, 8, 16}) csv.row({static_cast<double>(d), run(d, 17)});
+  bench::write_run_manifest("ablation_draws");
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
   }
   bench::note("wall time over the sweep: FWBT " + format_double(t_fwbt) + " s, PMTBR " +
               format_double(t_pmtbr) + " s");
+  bench::write_run_manifest("ablation_fwbt");
   return 0;
 }

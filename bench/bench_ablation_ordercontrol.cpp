@@ -34,5 +34,6 @@ int main() {
   }
   bench::note("tighter tolerance -> larger order and smaller realized error;");
   bench::note("the adaptive rule keeps sample count ~2.5x the selected order");
+  bench::write_run_manifest("ablation_ordercontrol");
   return 0;
 }

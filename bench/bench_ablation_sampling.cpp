@@ -65,5 +65,6 @@ int main() {
                format_double(el), format_double(eg)});
     }
   }
+  bench::write_run_manifest("ablation_sampling");
   return 0;
 }

@@ -8,11 +8,12 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/obs/json.hpp"
+#include "util/obs/manifest.hpp"
 
 namespace pmtbr::bench {
 
@@ -49,7 +50,8 @@ struct TimingRecord {
 /// Writes bench_out/BENCH_<name>.json with the given records, so CI and
 /// scripts can diff timings without parsing human-oriented stdout. Returns
 /// the path written, or "" on failure (the bench still ran; only the
-/// artifact is missing).
+/// artifact is missing). Serialization goes through obs::JsonWriter — the
+/// same locale-independent, escaped emitter the run manifest uses.
 inline std::string write_timing_json(const std::string& name,
                                      const std::vector<TimingRecord>& records) {
   std::error_code ec;
@@ -58,17 +60,43 @@ inline std::string write_timing_json(const std::string& name,
   const std::string path = "bench_out/BENCH_" + name + ".json";
   std::ofstream out(path);
   if (!out) return {};
-  std::ostringstream body;
-  body.precision(9);
-  body << "{\n  \"bench\": \"" << name << "\",\n  \"records\": [\n";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-    body << "    {\"label\": \"" << r.label << "\", \"wall_seconds\": " << r.wall_seconds
-         << ", \"n\": " << r.n << ", \"samples\": " << r.samples
-         << ", \"threads\": " << r.threads << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("bench");
+  w.value(name);
+  w.key("records");
+  w.begin_array();
+  for (const auto& r : records) {
+    w.begin_object();
+    w.key("label");
+    w.value(r.label);
+    w.key("wall_seconds");
+    w.value(r.wall_seconds);
+    w.key("n");
+    w.value(static_cast<std::int64_t>(r.n));
+    w.key("samples");
+    w.value(static_cast<std::int64_t>(r.samples));
+    w.key("threads");
+    w.value(static_cast<std::int64_t>(r.threads));
+    w.end_object();
   }
-  body << "  ]\n}\n";
-  out << body.str();
+  w.end_array();
+  w.end_object();
+  w.done();
+  return path;
+}
+
+/// Writes bench_out/MANIFEST_<name>.json — the per-run observability
+/// manifest (counters, trace timings, build identity) every bench emits
+/// next to its CSV. Returns the path, or "" on failure.
+inline std::string write_run_manifest(const std::string& name,
+                                      const obs::ManifestExtras& extra = {}) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return {};
+  const std::string path = "bench_out/MANIFEST_" + name + ".json";
+  if (!obs::write_manifest(path, name, extra)) return {};
+  std::cout << "# manifest: " << path << "\n";
   return path;
 }
 

@@ -173,5 +173,6 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  pmtbr::bench::write_run_manifest("cost_scaling");
   return 0;
 }

@@ -46,5 +46,6 @@ int main() {
     bench::note("ports=" + std::to_string(port_counts[i]) +
                 ": order for 20% bound = " + std::to_string(q));
   }
+  bench::write_run_manifest("fig03_mesh_ports");
   return 0;
 }

@@ -45,5 +45,6 @@ int main() {
     if (res.hankel_estimates[i] > 0)
       decades = std::log10(res.hankel_estimates[0] / res.hankel_estimates[i]);
   bench::note("estimate decay spans " + std::to_string(decades) + " decades");
+  bench::write_run_manifest("fig05_hsv_convergence");
   return 0;
 }

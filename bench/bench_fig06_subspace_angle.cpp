@@ -43,5 +43,6 @@ int main() {
   }
   bench::note("the floor is the finite-bandwidth plateau the paper describes:");
   bench::note("the system responds outside the sampled band, so the angle cannot reach zero");
+  bench::write_run_manifest("fig06_subspace_angle");
   return 0;
 }

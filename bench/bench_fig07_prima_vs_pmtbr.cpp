@@ -59,5 +59,6 @@ int main() {
   }
   bench::note("PVL matches 2q moments per q states (Padé), so it converges faster than");
   bench::note("PRIMA at low orders; PMTBR still wins once redundancy pruning matters");
+  bench::write_run_manifest("fig07_prima_vs_pmtbr");
   return 0;
 }

@@ -33,5 +33,6 @@ int main() {
       row.push_back(i < res.model.singular_values.size() ? res.model.singular_values[i] : 0.0);
     csv.row(row);
   }
+  bench::write_run_manifest("fig08_sv_convergence");
   return 0;
 }

@@ -44,5 +44,6 @@ int main() {
                            : 0.0;
     csv.row({static_cast<double>(q), err.max_abs / err.h_inf_scale, est});
   }
+  bench::write_run_manifest("fig09_error_estimate");
   return 0;
 }

@@ -44,5 +44,6 @@ int main() {
   }
   bench::note("PMTBR reaches its accuracy floor by order ~20; MPPROJ needs ~32 basis");
   bench::note("columns for the same floor — the redundancy-pruning gap of Fig. 10");
+  bench::write_run_manifest("fig10_mpproj_vs_pmtbr");
   return 0;
 }

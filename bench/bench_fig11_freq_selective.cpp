@@ -62,5 +62,6 @@ int main() {
     bench::note("in-band max rel error: TBR(" + std::to_string(q) +
                 ") = " + format_double(e.max_rel));
   }
+  bench::write_run_manifest("fig11_freq_selective");
   return 0;
 }

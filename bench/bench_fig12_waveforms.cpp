@@ -31,5 +31,6 @@ int main() {
     csv.row(row);
   }
   bench::note("seed = 2026; dither = 10% of period");
+  bench::write_run_manifest("fig12_waveforms");
   return 0;
 }

@@ -81,5 +81,6 @@ int main() {
     const auto e = signal::compare_outputs(full, r);
     bench::note("TBR(" + std::to_string(q) + ") rms = " + format_double(e.rms));
   }
+  bench::write_run_manifest("fig13_correlated_rc");
   return 0;
 }

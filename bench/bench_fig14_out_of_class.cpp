@@ -69,5 +69,6 @@ int main() {
   bench::note("rms error in-class = " + format_double(e_in.rms) +
               ", out-of-class = " + format_double(e_out.rms) + " (degradation x" +
               format_double(e_out.rms / std::max(e_in.rms, 1e-300)) + ")");
+  bench::write_run_manifest("fig14_out_of_class");
   return 0;
 }

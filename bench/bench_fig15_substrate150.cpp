@@ -64,5 +64,6 @@ int main() {
   for (index k = 0; k <= sim.steps; k += 9)
     csv.row({full.times[static_cast<std::size_t>(k)] * 1e9, full.outputs(k, 0),
              reduced[0].outputs(k, 0), reduced[1].outputs(k, 0)});
+  bench::write_run_manifest("fig15_substrate150");
   return 0;
 }

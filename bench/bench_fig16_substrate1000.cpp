@@ -64,5 +64,6 @@ int main() {
   bench::note("order for 1e-6 estimate = " + std::to_string(q_hi) + " (compression " +
               std::to_string(sys.n() / std::max<index>(q_hi, 1)) + "x vs states, " +
               std::to_string(sys.num_inputs() / std::max<index>(q_hi, 1)) + "x vs ports)");
+  bench::write_run_manifest("fig16_substrate1000");
   return 0;
 }

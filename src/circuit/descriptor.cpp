@@ -8,6 +8,8 @@
 #include "la/ops.hpp"
 #include "sparse/rcm.hpp"
 #include "sparse/splu.hpp"
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr {
@@ -68,9 +70,12 @@ std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) 
   if (!cache_->symbolic) {
     // Build from the pencil at this shift; concurrent first callers
     // serialize here so exactly one symbolic analysis is ever built.
+    obs::counter_add(obs::Counter::kSymbolicCacheMiss);
     const std::vector<index> perm = ordering_locked(lock);
     cache_->symbolic = std::make_shared<const sparse::SymbolicLuC>(
         sparse::shifted_pencil(s, e_, a_), perm);
+  } else {
+    obs::counter_add(obs::Counter::kSymbolicCacheHit);
   }
   return cache_->symbolic;
 }
@@ -78,6 +83,7 @@ std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) 
 void DescriptorSystem::prepare_shifted(cd s) const { symbolic_for(s); }
 
 sparse::SparseLuC DescriptorSystem::factor_shifted(cd s) const {
+  PMTBR_TRACE_SCOPE("descriptor.factor_shifted");
   const auto sym = symbolic_for(s);
   const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
   auto lu = sparse::SparseLuC::try_refactor(*sym, pencil);
@@ -88,10 +94,14 @@ sparse::SparseLuC DescriptorSystem::factor_shifted(cd s) const {
 }
 
 MatC DescriptorSystem::solve_shifted(cd s, const MatC& rhs) const {
+  PMTBR_TRACE_SCOPE("descriptor.solve_shifted");
+  obs::counter_add(obs::Counter::kShiftedSolve);
   return factor_shifted(s).solve(rhs);
 }
 
 MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {
+  PMTBR_TRACE_SCOPE("descriptor.solve_shifted_adjoint");
+  obs::counter_add(obs::Counter::kShiftedSolve);
   const sparse::SparseLuC lu = factor_shifted(s);
   MatC x(rhs.rows(), rhs.cols());
   util::parallel_for(0, rhs.cols(),
@@ -100,6 +110,8 @@ MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {
 }
 
 MatC DescriptorSystem::solve_shifted_transpose(cd s, const MatC& rhs) const {
+  PMTBR_TRACE_SCOPE("descriptor.solve_shifted_transpose");
+  obs::counter_add(obs::Counter::kShiftedSolve);
   const sparse::SparseLuC lu = factor_shifted(s);
   MatC x(rhs.rows(), rhs.cols());
   util::parallel_for(0, rhs.cols(),

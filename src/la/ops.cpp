@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/obs/counters.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr::la {
@@ -41,6 +42,9 @@ Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
   };
   const double flops = static_cast<double>(a.rows()) * static_cast<double>(a.cols()) *
                        static_cast<double>(b.cols());
+  // Multiply-add pair per (i,k,j) triple; zero-skips make this an upper
+  // bound, which is the useful direction for a cost estimate.
+  obs::counter_add(obs::Counter::kGemmFlops, static_cast<std::int64_t>(2.0 * flops));
   if (flops < kParallelMatmulFlops || a.rows() < 2 * kMatmulRowPanel) {
     row_panel(0, a.rows());
     return c;

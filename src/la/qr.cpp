@@ -4,6 +4,9 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
+
 namespace pmtbr::la {
 
 namespace {
@@ -29,8 +32,14 @@ void apply_reflector(Matrix<T>& a, index j0, index col0, const std::vector<T>& v
 
 template <typename T>
 QrResult<T> qr_impl(Matrix<T> a, bool pivot, double rel_tol) {
+  PMTBR_TRACE_SCOPE("la.qr");
   const index m = a.rows(), n = a.cols();
   const index k = std::min(m, n);
+  obs::counter_add(obs::Counter::kQrFactorizations);
+  // Householder QR: ~2mnk flops for R plus the same again for thin Q.
+  obs::counter_add(obs::Counter::kQrFlops,
+                   static_cast<std::int64_t>(4.0 * static_cast<double>(m) *
+                                             static_cast<double>(n) * static_cast<double>(k)));
   QrResult<T> out;
   out.perm.resize(static_cast<std::size_t>(n));
   std::iota(out.perm.begin(), out.perm.end(), index{0});

@@ -6,6 +6,8 @@
 #include <numeric>
 
 #include "la/ops.hpp"
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
 
 namespace pmtbr::la {
 
@@ -20,6 +22,12 @@ void jacobi_onesided(MatD& g, MatD* v) {
   const double eps = std::numeric_limits<double>::epsilon();
 
   for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    obs::counter_add(obs::Counter::kSvdSweeps);
+    // Each of the n(n-1)/2 column pairs costs ~6m flops (Gram + rotation).
+    obs::counter_add(obs::Counter::kSvdFlops,
+                     static_cast<std::int64_t>(3.0 * static_cast<double>(m) *
+                                               static_cast<double>(n) *
+                                               static_cast<double>(n - 1)));
     bool rotated = false;
     for (index p = 0; p < n - 1; ++p) {
       for (index q = p + 1; q < n; ++q) {
@@ -59,6 +67,8 @@ void jacobi_onesided(MatD& g, MatD* v) {
 }
 
 SvdResult svd_tall(const MatD& a, bool want_vectors) {
+  PMTBR_TRACE_SCOPE("la.svd");
+  obs::counter_add(obs::Counter::kSvdCalls);
   const index m = a.rows(), n = a.cols();
   MatD g = a;
   MatD v = MatD::identity(n);

@@ -6,6 +6,7 @@
 #include "la/ops.hpp"
 #include "la/svd.hpp"
 #include "util/check.hpp"
+#include "util/obs/counters.hpp"
 
 namespace pmtbr::mor {
 
@@ -55,6 +56,9 @@ double IncrementalCompressor::add_column(std::vector<double> v, index basis_rank
     for (auto& x : v) x /= beta;
     q_cols_.push_back(std::move(v));
     h.push_back(beta);
+    obs::counter_add(obs::Counter::kCompressorColumnsKept);
+  } else {
+    obs::counter_add(obs::Counter::kCompressorColumnsDropped);
   }
   r_cols_.push_back(std::move(h));
   ++m_;

@@ -7,6 +7,8 @@
 #include "la/ops.hpp"
 #include "mor/compressor.hpp"
 #include "util/logging.hpp"
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr::mor {
@@ -15,6 +17,7 @@ namespace {
 
 // Weighted, realified sample block for one frequency point.
 MatD sample_block(const DescriptorSystem& sys, const FrequencySample& fs) {
+  PMTBR_TRACE_SCOPE("pmtbr.sample_block");
   const la::MatC z = sys.solve_shifted(fs.s, la::to_complex(sys.b()));
   // Fold in the Parseval 1/(2π) so ZW^2Z^H approximates the true Gramian.
   // A sample at +jω implicitly carries its conjugate pair at -jω (the
@@ -61,6 +64,7 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
                                const std::vector<FrequencySample>& samples,
                                const PmtbrOptions& opts) {
   PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
+  PMTBR_TRACE_SCOPE("pmtbr");
   IncrementalCompressor comp(sys.n());
   PmtbrResult out;
 
@@ -86,6 +90,7 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
           count, [&](index i) { return sample_block(sys, eff[static_cast<std::size_t>(base + i)]); });
       for (index k = 0; k < count; ++k) {
         comp.add_columns(blocks[static_cast<std::size_t>(k)]);
+        obs::counter_add(obs::Counter::kPmtbrSamples);
         out.samples_used.push_back(eff[static_cast<std::size_t>(base + k)]);
 
         if (adaptive && static_cast<index>(out.samples_used.size()) >= opts.min_samples) {
@@ -97,6 +102,7 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
               opts.adaptive_excess * static_cast<double>(est)) {
             log_debug("pmtbr: adaptive stop after ", out.samples_used.size(), " samples (order ~",
                       est, ")");
+            obs::counter_add(obs::Counter::kPmtbrAdaptiveStops);
             stopped = true;
             break;
           }
@@ -122,6 +128,7 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
                            const PmtbrOptions& opts) {
   PMTBR_REQUIRE(aopts.initial_samples >= 2, "need at least two initial samples");
   PMTBR_REQUIRE(aopts.max_samples >= aopts.initial_samples, "budget below initial samples");
+  PMTBR_TRACE_SCOPE("pmtbr_adaptive");
 
   IncrementalCompressor comp(sys.n());
   PmtbrResult out;
@@ -142,6 +149,7 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
     MatD block = sample_block(sys, fs);
     max_block_norm = std::max(max_block_norm, la::norm_fro(block));
     const double res = comp.add_columns(block);
+    obs::counter_add(obs::Counter::kPmtbrSamples);
     out.samples_used.push_back(fs);
     return res;
   };
@@ -164,6 +172,7 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
       if (intervals[i].score > intervals[best].score) best = i;
     if (intervals[best].score <= aopts.novelty_tol * std::max(max_block_norm, 1e-300)) break;
 
+    obs::counter_add(obs::Counter::kAdaptiveBisections);
     const Interval iv = intervals[best];
     const double mid = 0.5 * (iv.f_lo + iv.f_hi);
     const double child_w = 0.5 * (iv.f_hi - iv.f_lo);
@@ -190,12 +199,16 @@ std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
                                            const std::vector<index>& orders) {
   PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
   PMTBR_REQUIRE(!orders.empty(), "need at least one order");
+  PMTBR_TRACE_SCOPE("pmtbr_order_sweep");
   IncrementalCompressor comp(sys.n());
   sys.prepare_shifted(samples.front().s);
   const auto blocks = util::parallel_map<MatD>(
       static_cast<index>(samples.size()),
       [&](index i) { return sample_block(sys, samples[static_cast<std::size_t>(i)]); });
-  for (const auto& block : blocks) comp.add_columns(block);
+  for (const auto& block : blocks) {
+    comp.add_columns(block);
+    obs::counter_add(obs::Counter::kPmtbrSamples);
+  }
 
   std::vector<PmtbrResult> out;
   out.reserve(orders.size());

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr::signal {
@@ -24,6 +26,8 @@ std::vector<AcPoint> sweep_impl(const System& sys, const std::vector<double>& fr
   PMTBR_REQUIRE(out_idx < sys.num_outputs() && in_idx < sys.num_inputs(),
                 "transfer entry out of range");
   if (freqs.empty()) return {};
+  PMTBR_TRACE_SCOPE("ac.sweep");
+  obs::counter_add(obs::Counter::kAcSweepPoints, static_cast<std::int64_t>(freqs.size()));
   warm(sys, freqs.front());
   // Every grid point is an independent shifted solve; fan them out and
   // store each result at its own index.

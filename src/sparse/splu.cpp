@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr::sparse {
@@ -106,14 +108,21 @@ std::optional<SparseLu<T>> SparseLu<T>::try_refactor(const SymbolicLu<T>& symbol
                 "refactor matrix size mismatch");
   PMTBR_REQUIRE(a.nnz() == symbolic.pattern_->a_nnz, "refactor matrix pattern mismatch");
   PMTBR_CHECK_FINITE(a, "sparse LU refactor input matrix");
+  PMTBR_TRACE_SCOPE("splu.refactor");
   SparseLu<T> lu;
   lu.pattern_ = symbolic.pattern_;
-  if (!lu.refactor(a)) return std::nullopt;
+  if (!lu.refactor(a)) {
+    obs::counter_add(obs::Counter::kSparseLuRefactorReject);
+    return std::nullopt;
+  }
+  obs::counter_add(obs::Counter::kSparseLuRefactor);
   return lu;
 }
 
 template <typename T>
 void SparseLu<T>::factor(const Csr<T>& a, detail::LuPattern<T>& pat) {
+  PMTBR_TRACE_SCOPE("splu.full_factor");
+  obs::counter_add(obs::Counter::kSparseLuFullFactor);
   const Csc<T> ap = to_permuted_csc(a, pat.q);
   const index n = pat.n;
 

@@ -1,0 +1,54 @@
+#include "util/obs/counters.hpp"
+
+namespace pmtbr::obs {
+
+namespace detail {
+std::array<std::atomic<std::int64_t>, kNumCounters> g_counters{};
+}  // namespace detail
+
+const char* counter_name(Counter c) noexcept {
+  switch (c) {
+    case Counter::kSparseLuFullFactor: return "sparse_lu_full_factor";
+    case Counter::kSparseLuRefactor: return "sparse_lu_refactor";
+    case Counter::kSparseLuRefactorReject: return "sparse_lu_refactor_reject";
+    case Counter::kSymbolicCacheHit: return "symbolic_cache_hit";
+    case Counter::kSymbolicCacheMiss: return "symbolic_cache_miss";
+    case Counter::kShiftedSolve: return "shifted_solve";
+    case Counter::kGemmFlops: return "gemm_flops";
+    case Counter::kQrFactorizations: return "qr_factorizations";
+    case Counter::kQrFlops: return "qr_flops";
+    case Counter::kSvdCalls: return "svd_calls";
+    case Counter::kSvdSweeps: return "svd_sweeps";
+    case Counter::kSvdFlops: return "svd_flops";
+    case Counter::kPoolParallelFor: return "pool_parallel_for";
+    case Counter::kPoolInlineFor: return "pool_inline_for";
+    case Counter::kPoolTasksExecuted: return "pool_tasks_executed";
+    case Counter::kPoolChunksCaller: return "pool_chunks_caller";
+    case Counter::kPoolChunksWorker: return "pool_chunks_worker";
+    case Counter::kPoolIdleNanos: return "pool_idle_nanos";
+    case Counter::kPmtbrSamples: return "pmtbr_samples";
+    case Counter::kPmtbrAdaptiveStops: return "pmtbr_adaptive_stops";
+    case Counter::kAdaptiveBisections: return "adaptive_bisections";
+    case Counter::kCompressorColumnsKept: return "compressor_columns_kept";
+    case Counter::kCompressorColumnsDropped: return "compressor_columns_dropped";
+    case Counter::kAcSweepPoints: return "ac_sweep_points";
+    case Counter::kCount: break;
+  }
+  return "unknown";
+}
+
+void reset_counters() noexcept {
+  for (auto& c : detail::g_counters) c.store(0, std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::string, std::int64_t>> counters_snapshot() {
+  std::vector<std::pair<std::string, std::int64_t>> out;
+  out.reserve(kNumCounters);
+  for (int i = 0; i < kNumCounters; ++i) {
+    const auto c = static_cast<Counter>(i);
+    out.emplace_back(counter_name(c), counter_value(c));
+  }
+  return out;
+}
+
+}  // namespace pmtbr::obs

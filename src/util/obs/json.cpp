@@ -1,0 +1,129 @@
+#include "util/obs/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace pmtbr::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  std::string s(buf, res.ptr);
+  // Bare exponent-free integers ("42") are valid JSON numbers, but keeping a
+  // decimal point marks the field as floating for schema readers.
+  if (s.find_first_of(".eE") == std::string::npos) s += ".0";
+  return s;
+}
+
+void JsonWriter::newline_indent() {
+  out_ << '\n';
+  for (int i = 0; i < indent_; ++i) out_ << "  ";
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_.back()) out_ << ',';
+  if (needs_comma_.size() > 1) newline_indent();
+  needs_comma_.back() = true;
+}
+
+void JsonWriter::begin_object() {
+  before_value();
+  out_ << '{';
+  ++indent_;
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  needs_comma_.pop_back();
+  --indent_;
+  newline_indent();
+  out_ << '}';
+}
+
+void JsonWriter::begin_array() {
+  before_value();
+  out_ << '[';
+  ++indent_;
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  needs_comma_.pop_back();
+  --indent_;
+  newline_indent();
+  out_ << ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  if (needs_comma_.back()) out_ << ',';
+  newline_indent();
+  needs_comma_.back() = true;
+  out_ << '"' << json_escape(k) << "\": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  before_value();
+  out_ << '"' << json_escape(s) << '"';
+}
+
+void JsonWriter::value(double v) {
+  before_value();
+  out_ << json_double(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ << v;
+}
+
+void JsonWriter::value(bool v) {
+  before_value();
+  out_ << (v ? "true" : "false");
+}
+
+void JsonWriter::null() {
+  before_value();
+  out_ << "null";
+}
+
+void JsonWriter::raw(std::string_view json_fragment) {
+  before_value();
+  out_ << json_fragment;
+}
+
+void JsonWriter::done() { out_ << '\n'; }
+
+}  // namespace pmtbr::obs

@@ -1,0 +1,65 @@
+// Minimal locale-independent JSON emission, shared by the run-manifest
+// writer and the bench timing artifacts.
+//
+// Doubles go through std::to_chars (shortest round-trip form, never
+// locale-dependent commas); strings are escaped per RFC 8259. The writer is
+// a flat streaming builder with a begin/end scope stack — enough for the
+// manifest schema, deliberately not a general JSON library.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pmtbr::obs {
+
+/// RFC 8259 string escaping (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Shortest round-trip decimal form via std::to_chars; NaN and infinities
+/// (not representable in JSON) are emitted as null.
+std::string json_double(double v);
+
+class JsonWriter {
+ public:
+  /// Writes to `out`; emit exactly one top-level value, then call done().
+  explicit JsonWriter(std::ostream& out) : out_(out) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value or begin_*().
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double v);
+  void value(std::int64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void null();
+
+  /// Emits a pre-serialized JSON fragment verbatim (caller guarantees
+  /// validity) — used to splice caller-provided extra manifest fields.
+  void raw(std::string_view json_fragment);
+
+  /// Ends the document with a trailing newline.
+  void done();
+
+ private:
+  void before_value();
+
+  std::ostream& out_;
+  // One frame per open scope: whether a comma is needed before the next
+  // element at this level.
+  std::vector<bool> needs_comma_{false};
+  bool after_key_ = false;
+  int indent_ = 0;
+  void newline_indent();
+};
+
+}  // namespace pmtbr::obs

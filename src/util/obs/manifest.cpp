@@ -1,0 +1,100 @@
+#include "util/obs/manifest.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/obs/counters.hpp"
+#include "util/obs/json.hpp"
+#include "util/obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+#ifndef PMTBR_GIT_DESCRIBE
+#define PMTBR_GIT_DESCRIBE "unknown"
+#endif
+#ifndef PMTBR_BUILD_TYPE
+#define PMTBR_BUILD_TYPE "unknown"
+#endif
+
+namespace pmtbr::obs {
+
+namespace {
+
+void env_entry(JsonWriter& w, const char* name) {
+  w.key(name);
+  const char* v = std::getenv(name);
+  if (v == nullptr) {
+    w.null();
+  } else {
+    w.value(std::string_view(v));
+  }
+}
+
+}  // namespace
+
+std::string manifest_json(const std::string& name, const ManifestExtras& extra) {
+  std::ostringstream os;
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("schema");
+  w.value("pmtbr-manifest/1");
+  w.key("run");
+  w.value(name);
+  w.key("git_describe");
+  w.value(PMTBR_GIT_DESCRIBE);
+  w.key("build_type");
+  w.value(PMTBR_BUILD_TYPE);
+  w.key("threads");
+  w.value(static_cast<std::int64_t>(util::global_pool().size()));
+  w.key("env");
+  w.begin_object();
+  env_entry(w, "PMTBR_NUM_THREADS");
+  env_entry(w, "PMTBR_TRACE");
+  w.end_object();
+  w.key("trace_enabled");
+  w.value(trace_enabled());
+
+  w.key("extra");
+  w.begin_object();
+  for (const auto& [k, fragment] : extra) {
+    w.key(k);
+    w.raw(fragment);
+  }
+  w.end_object();
+
+  w.key("counters");
+  w.begin_object();
+  for (const auto& [cname, v] : counters_snapshot()) {
+    w.key(cname);
+    w.value(v);
+  }
+  w.end_object();
+
+  w.key("trace");
+  w.begin_array();
+  for (const auto& s : trace_snapshot()) {
+    w.begin_object();
+    w.key("path");
+    w.value(s.path);
+    w.key("count");
+    w.value(static_cast<std::int64_t>(s.count));
+    w.key("seconds");
+    w.value(s.seconds);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.end_object();
+  w.done();
+  return os.str();
+}
+
+bool write_manifest(const std::string& path, const std::string& name,
+                    const ManifestExtras& extra) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << manifest_json(name, extra);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pmtbr::obs

@@ -1,0 +1,82 @@
+#include "util/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+namespace pmtbr::obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{[] {
+  const char* v = std::getenv("PMTBR_TRACE");
+  return v != nullptr && (std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+                          std::strcmp(v, "on") == 0);
+}()};
+
+// Full scope path of the current thread; TraceScope appends/truncates.
+thread_local std::string tl_path;  // NOLINT(runtime/string)
+
+struct Accum {
+  long long count = 0;
+  double seconds = 0;
+};
+
+std::mutex g_stats_mutex;
+std::map<std::string, Accum>& stats_table() {
+  static std::map<std::string, Accum> table;  // NOLINT: process-lifetime registry
+  return table;
+}
+
+double now_seconds() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+bool trace_enabled() noexcept { return g_trace_enabled.load(std::memory_order_relaxed); }
+
+void set_trace_enabled(bool on) noexcept {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+void TraceScope::enter(const char* name) {
+  parent_len_ = tl_path.size();
+  if (!tl_path.empty()) tl_path += '/';
+  tl_path += name;
+  start_ = now_seconds();
+  active_ = true;
+}
+
+void TraceScope::leave() noexcept {
+  const double elapsed = now_seconds() - start_;
+  try {
+    std::lock_guard<std::mutex> lock(g_stats_mutex);
+    Accum& a = stats_table()[tl_path];
+    ++a.count;
+    a.seconds += elapsed;
+  } catch (...) {
+    // Allocation failure while recording a diagnostic: drop the sample.
+  }
+  tl_path.resize(parent_len_);
+}
+
+std::vector<ScopeStat> trace_snapshot() {
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  std::vector<ScopeStat> out;
+  out.reserve(stats_table().size());
+  for (const auto& [path, acc] : stats_table()) out.push_back({path, acc.count, acc.seconds});
+  return out;
+}
+
+void reset_trace() {
+  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  stats_table().clear();
+}
+
+}  // namespace pmtbr::obs

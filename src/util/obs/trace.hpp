@@ -1,0 +1,68 @@
+// Hierarchical scoped wall-clock tracing, off by default.
+//
+// PMTBR_TRACE_SCOPE("name") opens a scope whose full path is the
+// "/"-joined chain of the scopes enclosing it on the SAME thread
+// ("pmtbr/descriptor.factor_shifted/splu.refactor"). On scope exit the
+// elapsed wall time is accumulated into a process-wide (path -> count,
+// seconds) table that trace_snapshot() reads and the run manifest embeds.
+//
+// Cost model: tracing is enabled only when the environment sets
+// PMTBR_TRACE=1 (or a test calls set_trace_enabled). Disabled, a scope is
+// one relaxed atomic load and a branch — cheap enough to leave in solver
+// hot paths. Enabled, scope exit takes a short global mutex; scopes are
+// placed at solve/factorization granularity, never per matrix element.
+//
+// Worker threads each carry their own path stack, so a traced region inside
+// a parallel_for nests under whatever scope the worker itself opened (its
+// chain starts fresh on the worker), while the caller thread's chain nests
+// normally. Aggregation is by full path across all threads.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pmtbr::obs {
+
+/// True when scopes record. Initialized once from PMTBR_TRACE ("1", "true",
+/// "on" enable; anything else disables); tests may flip it at runtime.
+bool trace_enabled() noexcept;
+void set_trace_enabled(bool on) noexcept;
+
+struct ScopeStat {
+  std::string path;    // "/"-joined scope chain
+  long long count = 0; // times the scope closed
+  double seconds = 0;  // total wall time across all closures
+};
+
+/// All recorded scope paths, sorted by path.
+std::vector<ScopeStat> trace_snapshot();
+
+/// Drops every recorded stat (open scopes still record on exit).
+void reset_trace();
+
+class TraceScope {
+ public:
+  explicit TraceScope(const char* name) {
+    if (trace_enabled()) enter(name);
+  }
+  ~TraceScope() {
+    if (active_) leave();
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  void enter(const char* name);
+  void leave() noexcept;
+
+  bool active_ = false;
+  std::size_t parent_len_ = 0;  // thread-local path length to restore
+  double start_ = 0.0;          // monotonic seconds at entry
+};
+
+}  // namespace pmtbr::obs
+
+#define PMTBR_TRACE_CONCAT2(a, b) a##b
+#define PMTBR_TRACE_CONCAT(a, b) PMTBR_TRACE_CONCAT2(a, b)
+#define PMTBR_TRACE_SCOPE(name) \
+  ::pmtbr::obs::TraceScope PMTBR_TRACE_CONCAT(pmtbr_trace_scope_, __COUNTER__)(name)

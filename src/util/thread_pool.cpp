@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
 #include <memory>
 #include <string>
+
+#include "util/obs/counters.hpp"
 
 namespace pmtbr::util {
 
@@ -33,6 +36,10 @@ struct ForJob {
     while (!abort.load(std::memory_order_relaxed)) {
       const index lo = next.fetch_add(chunk, std::memory_order_relaxed);
       if (lo >= end) break;
+      // Chunk attribution: pool workers run inside a pool task, the
+      // issuing thread does not — the worker share is the "steal" ratio.
+      obs::counter_add(tl_inside_pool_task ? obs::Counter::kPoolChunksWorker
+                                           : obs::Counter::kPoolChunksCaller);
       const index hi = std::min<index>(lo + chunk, end);
       try {
         for (index i = lo; i < hi; ++i) {
@@ -71,12 +78,18 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
+      const auto idle_from = std::chrono::steady_clock::now();
       std::unique_lock<std::mutex> lock(mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      obs::counter_add(obs::Counter::kPoolIdleNanos,
+                       std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - idle_from)
+                           .count());
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
     }
+    obs::counter_add(obs::Counter::kPoolTasksExecuted);
     task();
   }
 }
@@ -85,10 +98,12 @@ void ThreadPool::parallel_for(index begin, index end, const std::function<void(i
   if (begin >= end) return;
   const index count = end - begin;
   if (count == 1 || size() == 1 || tl_inside_pool_task) {
+    obs::counter_add(obs::Counter::kPoolInlineFor);
     for (index i = begin; i < end; ++i) fn(i);
     return;
   }
 
+  obs::counter_add(obs::Counter::kPoolParallelFor);
   auto job = std::make_shared<ForJob>();
   job->end = count;
   // ~4 chunks per thread balances scheduling overhead against load skew.

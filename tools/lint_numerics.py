@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Project-specific numerics lint for the pmtbr codebase.
 
-Four checks, each targeting a hazard class that has historically produced
-silent numerical corruption in hand-rolled linear algebra:
+Five checks, each targeting a hazard class that has historically produced
+silent numerical corruption (or unobservable behavior) in hand-rolled
+linear algebra:
 
   raw-data-access     `data_[`, `val_[`, `ptr_[`, `col_[` touched outside the
                       file that owns the container. Raw buffer indexing
@@ -19,6 +20,12 @@ silent numerical corruption in hand-rolled linear algebra:
   abs-squared         |x| * |x| or pow(|x|, 2) — squaring a magnitude that
                       std::norm computes directly (and more accurately for
                       complex arguments).
+  raw-chrono          `std::chrono` timing in src/ outside the observability
+                      layer (src/util/obs/). Ad-hoc clocks bypass the scoped
+                      tracing that feeds the run manifest, so their numbers
+                      never reach bench_out/MANIFEST_*.json. Use
+                      PMTBR_TRACE_SCOPE (or util::Timer at a bench boundary)
+                      and allowlist the few sanctioned uses.
 
 Findings are suppressed by tools/lint_allowlist.txt: one `check:file:token`
 per line, `#` comments allowed. `file` is relative to the repo root; `token`
@@ -305,6 +312,36 @@ def check_abs_squared(path: Path, lines: list[str]) -> list[Finding]:
     return out
 
 
+# --- check 5: raw std::chrono timing outside the observability layer ---------
+
+# The trace layer itself owns the clock; everything else in src/ must time
+# through PMTBR_TRACE_SCOPE so the numbers land in the run manifest.
+CHRONO_EXEMPT_PREFIXES = ("src/util/obs/",)
+
+RAW_CHRONO_RE = re.compile(r"\bstd::chrono\b")
+
+
+def check_raw_chrono(path: Path, lines: list[str]) -> list[Finding]:
+    rel = path.resolve().relative_to(REPO_ROOT).as_posix()
+    if not rel.startswith("src/"):
+        return []
+    if any(rel.startswith(p) for p in CHRONO_EXEMPT_PREFIXES):
+        return []
+    out = []
+    for i, line in enumerate(lines, 1):
+        code = strip_comments(line)
+        if RAW_CHRONO_RE.search(code):
+            out.append(
+                Finding(
+                    "raw-chrono", path, i, "std::chrono",
+                    "raw `std::chrono` timing bypasses the trace layer — use "
+                    "PMTBR_TRACE_SCOPE (util/obs/trace.hpp) so the timing "
+                    "reaches the run manifest, or allowlist a sanctioned use",
+                )
+            )
+    return out
+
+
 # --- driver ------------------------------------------------------------------
 
 
@@ -323,6 +360,7 @@ def main(argv: list[str]) -> int:
         findings.extend(check_raw_data_access(path, lines))
         findings.extend(check_float_eq(path, lines))
         findings.extend(check_abs_squared(path, lines))
+        findings.extend(check_raw_chrono(path, lines))
     for root in roots:
         src_root = root if root.is_dir() else root.parent
         if (src_root / "la").is_dir() or src_root.name == "la":

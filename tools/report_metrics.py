@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Render and diff the observability artifacts the benches drop in bench_out/.
+
+Two artifact kinds (both emitted through src/util/obs/json.cpp):
+
+  MANIFEST_<name>.json   schema "pmtbr-manifest/1": build identity, thread
+                         configuration, every solver counter, aggregated
+                         trace-scope timings (docs/OBSERVABILITY.md).
+  BENCH_<name>.json      wall-clock timing records written by
+                         bench::write_timing_json.
+
+Usage:
+  python3 tools/report_metrics.py show bench_out/MANIFEST_cost_scaling.json ...
+  python3 tools/report_metrics.py diff OLD.json NEW.json
+  python3 tools/report_metrics.py validate bench_out/*.json
+
+`show` prints one table per file; `diff` prints counter / timing deltas
+between two runs of the same workload (old vs. new); `validate` just checks
+schema conformance and exits nonzero on any violation — CI uses this to
+guarantee every bench produced a parseable manifest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MANIFEST_SCHEMA = "pmtbr-manifest/1"
+
+MANIFEST_REQUIRED = {
+    "schema": str,
+    "run": str,
+    "git_describe": str,
+    "build_type": str,
+    "threads": int,
+    "env": dict,
+    "trace_enabled": bool,
+    "extra": dict,
+    "counters": dict,
+    "trace": list,
+}
+
+
+def fail(msg: str) -> None:
+    print(f"report_metrics: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path: Path) -> dict:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: unreadable or invalid JSON ({e})")
+    if not isinstance(data, dict):
+        fail(f"{path}: top-level JSON value must be an object")
+    return data
+
+
+def is_manifest(data: dict) -> bool:
+    return "schema" in data
+
+
+def validate_manifest(path: Path, data: dict) -> list[str]:
+    errors = []
+    if data.get("schema") != MANIFEST_SCHEMA:
+        errors.append(f"schema is {data.get('schema')!r}, expected {MANIFEST_SCHEMA!r}")
+    for key, typ in MANIFEST_REQUIRED.items():
+        if key not in data:
+            errors.append(f"missing required key {key!r}")
+        elif not isinstance(data[key], typ):
+            errors.append(f"key {key!r} has type {type(data[key]).__name__}, "
+                          f"expected {typ.__name__}")
+    for name, value in data.get("counters", {}).items():
+        if not isinstance(value, int):
+            errors.append(f"counter {name!r} is not an integer")
+    for i, scope in enumerate(data.get("trace", [])):
+        if not isinstance(scope, dict) or not {"path", "count", "seconds"} <= scope.keys():
+            errors.append(f"trace[{i}] lacks path/count/seconds")
+    return [f"{path}: {e}" for e in errors]
+
+
+def validate_timing(path: Path, data: dict) -> list[str]:
+    errors = []
+    if not isinstance(data.get("bench"), str):
+        errors.append("missing 'bench' name")
+    records = data.get("records")
+    if not isinstance(records, list):
+        errors.append("missing 'records' array")
+    else:
+        for i, r in enumerate(records):
+            if not isinstance(r, dict) or "label" not in r or "wall_seconds" not in r:
+                errors.append(f"records[{i}] lacks label/wall_seconds")
+    return [f"{path}: {e}" for e in errors]
+
+
+def validate(path: Path, data: dict) -> list[str]:
+    return validate_manifest(path, data) if is_manifest(data) else validate_timing(path, data)
+
+
+# --- rendering ---------------------------------------------------------------
+
+
+def show_manifest(data: dict) -> None:
+    print(f"run: {data['run']}   git: {data['git_describe']}   "
+          f"build: {data['build_type']}   threads: {data['threads']}")
+    env = ", ".join(f"{k}={v}" for k, v in data["env"].items() if v is not None) or "(default)"
+    print(f"env: {env}   trace_enabled: {data['trace_enabled']}")
+    if data["extra"]:
+        print("extra: " + ", ".join(f"{k}={v}" for k, v in data["extra"].items()))
+    nonzero = {k: v for k, v in data["counters"].items() if v != 0}
+    if nonzero:
+        width = max(len(k) for k in nonzero)
+        print("counters (nonzero):")
+        for name, value in sorted(nonzero.items()):
+            print(f"  {name:<{width}}  {value:>14,}")
+    else:
+        print("counters: all zero")
+    if data["trace"]:
+        print("trace scopes (by total seconds):")
+        scopes = sorted(data["trace"], key=lambda s: -s["seconds"])
+        width = max(len(s["path"]) for s in scopes)
+        for s in scopes:
+            per = s["seconds"] / s["count"] if s["count"] else 0.0
+            print(f"  {s['path']:<{width}}  {s['seconds']:>10.4f}s  "
+                  f"x{s['count']:<8}  {per * 1e3:>10.4f} ms/call")
+    elif data["trace_enabled"]:
+        print("trace: enabled, no scopes closed")
+
+
+def show_timing(data: dict) -> None:
+    print(f"bench: {data['bench']}")
+    for r in data["records"]:
+        extras = "  ".join(f"{k}={r[k]}" for k in ("n", "samples", "threads") if k in r)
+        print(f"  {r['label']:<40}  {r['wall_seconds']:>10.4f}s  {extras}")
+
+
+def cmd_show(paths: list[Path]) -> int:
+    for i, path in enumerate(paths):
+        data = load(path)
+        errors = validate(path, data)
+        if errors:
+            for e in errors:
+                print(e, file=sys.stderr)
+            return 1
+        if i:
+            print()
+        print(f"== {path}")
+        show_manifest(data) if is_manifest(data) else show_timing(data)
+    return 0
+
+
+# --- diffing -----------------------------------------------------------------
+
+
+def fmt_delta(old: float, new: float) -> str:
+    if old == 0:
+        return "(new)" if new != 0 else ""
+    return f"{(new - old) / old * 100.0:+.1f}%"
+
+
+def diff_manifests(old: dict, new: dict) -> None:
+    for field in ("run", "git_describe", "build_type", "threads"):
+        if old[field] != new[field]:
+            print(f"{field}: {old[field]} -> {new[field]}")
+    names = sorted(set(old["counters"]) | set(new["counters"]))
+    rows = []
+    for name in names:
+        a, b = old["counters"].get(name, 0), new["counters"].get(name, 0)
+        if a or b:
+            rows.append((name, a, b))
+    if rows:
+        width = max(len(r[0]) for r in rows)
+        print("counters:")
+        for name, a, b in rows:
+            marker = "" if a == b else "  <- changed"
+            print(f"  {name:<{width}}  {a:>14,}  {b:>14,}  {fmt_delta(a, b):>8}{marker}")
+    old_trace = {s["path"]: s for s in old["trace"]}
+    new_trace = {s["path"]: s for s in new["trace"]}
+    paths = sorted(set(old_trace) | set(new_trace))
+    if paths:
+        width = max(len(p) for p in paths)
+        print("trace seconds:")
+        for p in paths:
+            a = old_trace.get(p, {}).get("seconds", 0.0)
+            b = new_trace.get(p, {}).get("seconds", 0.0)
+            print(f"  {p:<{width}}  {a:>10.4f}  {b:>10.4f}  {fmt_delta(a, b):>8}")
+
+
+def diff_timings(old: dict, new: dict) -> None:
+    old_rec = {r["label"]: r for r in old["records"]}
+    new_rec = {r["label"]: r for r in new["records"]}
+    labels = sorted(set(old_rec) | set(new_rec))
+    width = max(len(l) for l in labels) if labels else 0
+    for label in labels:
+        a = old_rec.get(label, {}).get("wall_seconds", 0.0)
+        b = new_rec.get(label, {}).get("wall_seconds", 0.0)
+        print(f"  {label:<{width}}  {a:>10.4f}s  {b:>10.4f}s  {fmt_delta(a, b):>8}")
+
+
+def cmd_diff(old_path: Path, new_path: Path) -> int:
+    old, new = load(old_path), load(new_path)
+    errors = validate(old_path, old) + validate(new_path, new)
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        return 1
+    if is_manifest(old) != is_manifest(new):
+        fail("cannot diff a manifest against a timing artifact")
+    print(f"== {old_path} -> {new_path}")
+    diff_manifests(old, new) if is_manifest(old) else diff_timings(old, new)
+    return 0
+
+
+def cmd_validate(paths: list[Path]) -> int:
+    errors = []
+    for path in paths:
+        errors.extend(validate(path, load(path)))
+    for e in errors:
+        print(e, file=sys.stderr)
+    if errors:
+        print(f"report_metrics: {len(errors)} schema violation(s)", file=sys.stderr)
+        return 1
+    print(f"report_metrics: {len(paths)} artifact(s) valid")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+    p_show = sub.add_parser("show", help="render manifests / timing artifacts")
+    p_show.add_argument("files", nargs="+", type=Path)
+    p_diff = sub.add_parser("diff", help="diff two runs of the same workload")
+    p_diff.add_argument("old", type=Path)
+    p_diff.add_argument("new", type=Path)
+    p_val = sub.add_parser("validate", help="schema-check artifacts, exit nonzero on violation")
+    p_val.add_argument("files", nargs="+", type=Path)
+    args = parser.parse_args(argv[1:])
+    if args.cmd == "show":
+        return cmd_show(args.files)
+    if args.cmd == "diff":
+        return cmd_diff(args.old, args.new)
+    return cmd_validate(args.files)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
