@@ -51,33 +51,33 @@ DescriptorSystem DescriptorSystem::with_ports(const std::vector<index>& cols,
 }
 
 const std::vector<index>& DescriptorSystem::ordering() const {
-  std::unique_lock<std::mutex> lock(cache_->mutex);
-  return ordering_locked(lock);
+  Cache& cache = *cache_;
+  util::MutexLock lock(cache.mutex);
+  return ordering_locked(cache);
 }
 
-const std::vector<index>& DescriptorSystem::ordering_locked(
-    [[maybe_unused]] std::unique_lock<std::mutex>& lock) const {
-  PMTBR_DEBUG_ASSERT(lock.owns_lock(), "ordering cache accessed without lock");
-  if (!cache_->ordering) {
+const std::vector<index>& DescriptorSystem::ordering_locked(Cache& cache) const {
+  if (!cache.ordering) {
     const sparse::CsrD pattern = sparse::combine(1.0, e_, 1.0, a_);
-    cache_->ordering = std::make_shared<const std::vector<index>>(sparse::rcm_ordering(pattern));
+    cache.ordering = std::make_shared<const std::vector<index>>(sparse::rcm_ordering(pattern));
   }
-  return *cache_->ordering;
+  return *cache.ordering;
 }
 
 std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) const {
-  std::unique_lock<std::mutex> lock(cache_->mutex);
-  if (!cache_->symbolic) {
+  Cache& cache = *cache_;
+  util::MutexLock lock(cache.mutex);
+  if (!cache.symbolic) {
     // Build from the pencil at this shift; concurrent first callers
     // serialize here so exactly one symbolic analysis is ever built.
     obs::counter_add(obs::Counter::kSymbolicCacheMiss);
-    const std::vector<index> perm = ordering_locked(lock);
-    cache_->symbolic = std::make_shared<const sparse::SymbolicLuC>(
+    const std::vector<index> perm = ordering_locked(cache);
+    cache.symbolic = std::make_shared<const sparse::SymbolicLuC>(
         sparse::shifted_pencil(s, e_, a_), perm);
   } else {
     obs::counter_add(obs::Counter::kSymbolicCacheHit);
   }
-  return cache_->symbolic;
+  return cache.symbolic;
 }
 
 void DescriptorSystem::prepare_shifted(cd s) const { symbolic_for(s); }

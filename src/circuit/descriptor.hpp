@@ -13,12 +13,13 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "la/matrix.hpp"
 #include "sparse/csr.hpp"
 #include "sparse/splu.hpp"
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace pmtbr {
 
@@ -69,14 +70,20 @@ class DescriptorSystem {
  private:
   /// Shared lazily-computed state. Held behind one shared_ptr so copies of
   /// a system (which share the same E/A) also share the caches, and so the
-  /// class stays copyable despite owning a mutex.
+  /// class stays copyable despite owning a mutex. Both cached fields are
+  /// set-once shared_ptrs to const data: the mutex guards the pointer
+  /// installation; the pointees are immutable, so references handed out
+  /// after unlock stay valid and race-free.
   struct Cache {
-    std::mutex mutex;
-    std::shared_ptr<const std::vector<la::index>> ordering;
-    std::shared_ptr<const sparse::SymbolicLuC> symbolic;
+    util::Mutex mutex;
+    std::shared_ptr<const std::vector<la::index>> ordering PMTBR_GUARDED_BY(mutex);
+    std::shared_ptr<const sparse::SymbolicLuC> symbolic PMTBR_GUARDED_BY(mutex);
   };
 
-  const std::vector<la::index>& ordering_locked(std::unique_lock<std::mutex>& lock) const;
+  /// Builds (first call) or reads the cached RCM ordering. The caller must
+  /// hold `cache.mutex` — enforced at compile time under -Wthread-safety.
+  const std::vector<la::index>& ordering_locked(Cache& cache) const
+      PMTBR_REQUIRES(cache.mutex);
   std::shared_ptr<const sparse::SymbolicLuC> symbolic_for(la::cd s) const;
   sparse::SparseLuC factor_shifted(la::cd s) const;
 

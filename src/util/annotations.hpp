@@ -1,0 +1,82 @@
+// Clang thread-safety-analysis attribute macros (no-ops everywhere else).
+//
+// These wrap the capability attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that the
+// concurrency contracts of this codebase — which mutex guards which state,
+// which functions must (or must not) be called with a lock held — are part
+// of the type system instead of comments. A clang build configured with
+// -DPMTBR_TSA=ON compiles with -Wthread-safety -Werror=thread-safety and
+// rejects any access to a PMTBR_GUARDED_BY member without its mutex held;
+// GCC builds see empty macros and identical codegen.
+//
+// The annotated lock types that make the analysis actually fire live in
+// util/mutex.hpp (Mutex / MutexLock / UniqueLock); a plain std::mutex is
+// invisible to the analysis, so every mutex protecting shared state in
+// src/ must be a util::Mutex.
+//
+// Usage sketch:
+//
+//   util::Mutex mutex_;
+//   int value_ PMTBR_GUARDED_BY(mutex_);
+//   void touch() PMTBR_REQUIRES(mutex_);   // caller must hold mutex_
+//   void sync()  PMTBR_EXCLUDES(mutex_);   // caller must NOT hold mutex_
+//
+// PMTBR_NO_THREAD_SAFETY_ANALYSIS is the escape hatch of last resort; the
+// analyzer framework (tools/analyze) and review policy require a comment
+// justifying every individual use, and docs/CORRECTNESS.md records the
+// policy.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define PMTBR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PMTBR_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Marks a class as a capability (a lockable resource) named `x` in
+/// diagnostics, e.g. PMTBR_CAPABILITY("mutex").
+#define PMTBR_CAPABILITY(x) PMTBR_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases
+/// a capability (MutexLock / UniqueLock).
+#define PMTBR_SCOPED_CAPABILITY PMTBR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Declares that a data member may only be read or written while holding
+/// the given capability.
+#define PMTBR_GUARDED_BY(x) PMTBR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Declares that the *pointee* of a pointer member is guarded (the pointer
+/// itself may be read freely).
+#define PMTBR_PT_GUARDED_BY(x) PMTBR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: the caller must hold the capability on entry and
+/// still holds it on exit.
+#define PMTBR_REQUIRES(...) \
+  PMTBR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function effect: acquires the capability; it must not be held on entry.
+#define PMTBR_ACQUIRE(...) \
+  PMTBR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function effect: tries to acquire; first argument is the success value.
+#define PMTBR_TRY_ACQUIRE(...) \
+  PMTBR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function effect: releases the capability; it must be held on entry.
+#define PMTBR_RELEASE(...) \
+  PMTBR_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function precondition: the capability must NOT be held (deadlock guard
+/// for functions that acquire it themselves). Attribute name is the
+/// historical "locks_excluded".
+#define PMTBR_EXCLUDES(...) PMTBR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Return-value annotation: the function returns a reference to the given
+/// capability (accessor methods on lock-owning classes).
+#define PMTBR_RETURN_CAPABILITY(x) PMTBR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// carry a comment justifying why the contract cannot be expressed, and
+/// shows up in review via tools/analyze.
+#define PMTBR_NO_THREAD_SAFETY_ANALYSIS \
+  PMTBR_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -1,0 +1,111 @@
+// Capability-annotated mutex and scoped-lock types.
+//
+// Clang's thread-safety analysis only tracks lock state through types that
+// carry the capability attributes, so std::mutex / std::lock_guard are
+// invisible to it. These thin wrappers add the attributes (util/
+// annotations.hpp) at zero runtime cost:
+//
+//   Mutex       std::mutex with annotated lock()/unlock()/try_lock().
+//   MutexLock   lock_guard equivalent: acquires in the constructor,
+//               releases in the destructor, cannot be unlocked early.
+//   UniqueLock  unique_lock equivalent for condition-variable waits and
+//               early unlocks; satisfies BasicLockable so
+//               std::condition_variable_any can wait on it directly.
+//
+// House rules (enforced by the `lock-outside-api` check in tools/analyze):
+// library code never calls .lock()/.unlock() on a Mutex directly — locking
+// always goes through one of the scoped types so that every acquire has a
+// release on every path, and the analysis can see both.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/annotations.hpp"
+
+namespace pmtbr::util {
+
+class PMTBR_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PMTBR_ACQUIRE() { m_.lock(); }
+  void unlock() PMTBR_RELEASE() { m_.unlock(); }
+  bool try_lock() PMTBR_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Scoped exclusive lock, held for the full scope (lock_guard semantics).
+class PMTBR_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& m) PMTBR_ACQUIRE(m) : mutex_(m) { mutex_.lock(); }
+  ~MutexLock() PMTBR_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Scoped exclusive lock that can be released early and re-acquired, and
+/// that condition_variable_any can wait on (it is BasicLockable). The
+/// destructor releases only if currently owned — the analysis' scoped-
+/// capability model assumes the destructor releases, which matches every
+/// sane usage (an early unlock() is visible to the analysis as a release).
+class PMTBR_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) PMTBR_ACQUIRE(m) : mutex_(m), owned_(true) {
+    mutex_.lock();
+  }
+  ~UniqueLock() PMTBR_RELEASE() {
+    if (owned_) mutex_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() PMTBR_ACQUIRE() {
+    mutex_.lock();
+    owned_ = true;
+  }
+  void unlock() PMTBR_RELEASE() {
+    owned_ = false;
+    mutex_.unlock();
+  }
+  bool owns_lock() const noexcept { return owned_; }
+
+ private:
+  Mutex& mutex_;
+  bool owned_;
+};
+
+/// Condition variable paired with Mutex/UniqueLock. Predicate-style waits
+/// are deliberately absent: a predicate lambda is analyzed as an
+/// unannotated function, so reads of guarded state inside it would trip
+/// -Wthread-safety. Callers write the standard loop instead, where the
+/// guarded reads are visibly under the lock:
+///
+///   UniqueLock lock(mutex_);
+///   while (!ready_) cv_.wait(lock);
+class ConditionVariable {
+ public:
+  /// Atomically releases `lock`, blocks, and re-acquires before returning.
+  /// Capability-neutral: the lock is held on entry and on exit, so no
+  /// annotation is needed (the release/re-acquire inside
+  /// condition_variable_any is invisible to the analysis, which is exactly
+  /// the semantics callers rely on).
+  void wait(UniqueLock& lock) { cv_.wait(lock); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace pmtbr::util

@@ -6,7 +6,9 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
-#include <mutex>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace pmtbr::obs {
 
@@ -26,8 +28,11 @@ struct Accum {
   double seconds = 0;
 };
 
-std::mutex g_stats_mutex;
-std::map<std::string, Accum>& stats_table() {
+util::Mutex g_stats_mutex;
+// The registry is reached only through this accessor, whose contract makes
+// every caller hold the mutex; the function-local static keeps the usual
+// initialization-order safety.
+std::map<std::string, Accum>& stats_table() PMTBR_REQUIRES(g_stats_mutex) {
   static std::map<std::string, Accum> table;  // NOLINT: process-lifetime registry
   return table;
 }
@@ -56,7 +61,7 @@ void TraceScope::enter(const char* name) {
 void TraceScope::leave() noexcept {
   const double elapsed = now_seconds() - start_;
   try {
-    std::lock_guard<std::mutex> lock(g_stats_mutex);
+    util::MutexLock lock(g_stats_mutex);
     Accum& a = stats_table()[tl_path];
     ++a.count;
     a.seconds += elapsed;
@@ -67,7 +72,7 @@ void TraceScope::leave() noexcept {
 }
 
 std::vector<ScopeStat> trace_snapshot() {
-  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  util::MutexLock lock(g_stats_mutex);
   std::vector<ScopeStat> out;
   out.reserve(stats_table().size());
   for (const auto& [path, acc] : stats_table()) out.push_back({path, acc.count, acc.seconds});
@@ -75,7 +80,7 @@ std::vector<ScopeStat> trace_snapshot() {
 }
 
 void reset_trace() {
-  std::lock_guard<std::mutex> lock(g_stats_mutex);
+  util::MutexLock lock(g_stats_mutex);
   stats_table().clear();
 }
 

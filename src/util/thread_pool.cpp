@@ -18,17 +18,20 @@ namespace {
 // must run inline or the nested wait could deadlock the queue.
 thread_local bool tl_inside_pool_task = false;
 
-// One parallel_for invocation shared by its chunk tasks.
+// One parallel_for invocation shared by its chunk tasks. `end`, `chunk`
+// and `fn` are written once before the job is published to the queue (the
+// queue mutex hand-off orders them); only the completion state needs the
+// job mutex.
 struct ForJob {
   index end = 0;
   index chunk = 1;
   std::atomic<index> next{0};
   const std::function<void(index)>* fn = nullptr;
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  int pending_tasks = 0;
-  std::exception_ptr error;
+  Mutex mutex;
+  ConditionVariable done_cv;
+  int pending_tasks PMTBR_GUARDED_BY(mutex) = 0;
+  std::exception_ptr error PMTBR_GUARDED_BY(mutex);
   std::atomic<bool> abort{false};
 
   // Grabs chunks until the range (or the job, on error) is exhausted.
@@ -47,7 +50,7 @@ struct ForJob {
           (*fn)(i);
         }
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mutex);
+        MutexLock lock(mutex);
         if (!error) error = std::current_exception();
         abort.store(true, std::memory_order_relaxed);
         return;
@@ -66,7 +69,7 @@ ThreadPool::ThreadPool(int threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -79,8 +82,10 @@ void ThreadPool::worker_loop() {
     std::function<void()> task;
     {
       const auto idle_from = std::chrono::steady_clock::now();
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      UniqueLock lock(mutex_);
+      // Guarded reads stay visibly under the lock (no predicate lambda —
+      // see util/mutex.hpp on why ConditionVariable has no predicate wait).
+      while (!stop_ && tasks_.empty()) cv_.wait(lock);
       obs::counter_add(obs::Counter::kPoolIdleNanos,
                        std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - idle_from)
@@ -114,12 +119,17 @@ void ThreadPool::parallel_for(index begin, index end, const std::function<void(i
   const int helpers =
       static_cast<int>(std::min<index>(count, static_cast<index>(workers_.size())));
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    // pending_tasks is guarded by the job mutex, not the queue mutex; set
+    // it before the tasks that decrement it can possibly exist.
+    MutexLock jlock(job->mutex);
     job->pending_tasks = helpers;
+  }
+  {
+    MutexLock lock(mutex_);
     for (int t = 0; t < helpers; ++t)
       tasks_.push([job] {
         job->run_chunks();
-        std::lock_guard<std::mutex> jlock(job->mutex);
+        MutexLock jlock(job->mutex);
         if (--job->pending_tasks == 0) job->done_cv.notify_all();
       });
   }
@@ -127,8 +137,8 @@ void ThreadPool::parallel_for(index begin, index end, const std::function<void(i
 
   job->run_chunks();  // the caller is a full participant
 
-  std::unique_lock<std::mutex> lock(job->mutex);
-  job->done_cv.wait(lock, [&] { return job->pending_tasks == 0; });
+  UniqueLock lock(job->mutex);
+  while (job->pending_tasks != 0) job->done_cv.wait(lock);
   if (job->error) std::rethrow_exception(job->error);
 }
 
@@ -145,13 +155,14 @@ int resolve_num_threads(const char* env_value) {
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;  // NOLINT: intentional process-lifetime pool
+Mutex g_pool_mutex;
+// NOLINTNEXTLINE: intentional process-lifetime pool
+std::unique_ptr<ThreadPool> g_pool PMTBR_GUARDED_BY(g_pool_mutex);
 
 }  // namespace
 
 ThreadPool& global_pool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   if (!g_pool)
     g_pool = std::make_unique<ThreadPool>(resolve_num_threads(std::getenv("PMTBR_NUM_THREADS")));
   return *g_pool;
@@ -159,7 +170,7 @@ ThreadPool& global_pool() {
 
 void set_global_threads(int threads) {
   auto fresh = std::make_unique<ThreadPool>(std::max(threads, 1));
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  MutexLock lock(g_pool_mutex);
   g_pool = std::move(fresh);
 }
 

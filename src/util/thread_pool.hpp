@@ -16,13 +16,14 @@
 // "no worker threads": every parallel_for runs inline on the caller.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
 
 namespace pmtbr::util {
 
@@ -43,17 +44,19 @@ class ThreadPool {
 
   /// Runs fn(i) for every i in [begin, end), blocking until all complete.
   /// Empty or single-element ranges, a pool of size 1, and nested calls all
-  /// run inline on the caller.
-  void parallel_for(index begin, index end, const std::function<void(index)>& fn);
+  /// run inline on the caller. Must not be called with mutex_ held (the
+  /// pool acquires it to enqueue helper tasks).
+  void parallel_for(index begin, index end, const std::function<void(index)>& fn)
+      PMTBR_EXCLUDES(mutex_);
 
  private:
-  void worker_loop();
+  void worker_loop() PMTBR_EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<std::function<void()>> tasks_;
-  bool stop_ = false;
+  Mutex mutex_;
+  ConditionVariable cv_;
+  std::queue<std::function<void()>> tasks_ PMTBR_GUARDED_BY(mutex_);
+  bool stop_ PMTBR_GUARDED_BY(mutex_) = false;
 };
 
 /// The process-wide pool, created on first use with resolve_num_threads().

@@ -1,0 +1,19 @@
+// VIOLATION: calling a PMTBR_EXCLUDES(mu) function while holding mu —
+// the self-deadlock shape the annotation exists to prevent. Must be
+// rejected by -Werror=thread-safety.
+#include "util/mutex.hpp"
+
+struct Guarded {
+  pmtbr::util::Mutex mu;
+  int value PMTBR_GUARDED_BY(mu) = 0;
+
+  void bump() PMTBR_EXCLUDES(mu) {
+    pmtbr::util::MutexLock lock(mu);
+    ++value;
+  }
+};
+
+void deadlock(Guarded& g) {
+  pmtbr::util::MutexLock lock(g.mu);
+  g.bump();  // would self-deadlock: bump() re-acquires mu
+}

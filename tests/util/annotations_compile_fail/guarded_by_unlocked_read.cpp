@@ -1,0 +1,12 @@
+// VIOLATION: reading a PMTBR_GUARDED_BY member without holding its
+// mutex. Must be rejected by -Werror=thread-safety.
+#include "util/mutex.hpp"
+
+struct Guarded {
+  pmtbr::util::Mutex mu;
+  int value PMTBR_GUARDED_BY(mu) = 0;
+};
+
+int racy_read(Guarded& g) {
+  return g.value;  // no lock held
+}

@@ -1,0 +1,16 @@
+// VIOLATION: writing a PMTBR_GUARDED_BY member after the scoped lock
+// has already been destroyed. Must be rejected by -Werror=thread-safety.
+#include "util/mutex.hpp"
+
+struct Guarded {
+  pmtbr::util::Mutex mu;
+  int value PMTBR_GUARDED_BY(mu) = 0;
+};
+
+void racy_write(Guarded& g) {
+  {
+    pmtbr::util::MutexLock lock(g.mu);
+    g.value = 1;  // fine: lock held
+  }
+  g.value = 2;  // lock released at end of block
+}

@@ -1,0 +1,30 @@
+// Positive control for the negative-compile harness: correct usage of
+// every construct the violation snippets abuse. This TU must compile
+// cleanly under -Werror=thread-safety — if it does not, the harness
+// flags would reject good code and the WILL_FAIL results next to it
+// would be meaningless.
+#include "util/mutex.hpp"
+
+struct Guarded {
+  pmtbr::util::Mutex mu;
+  int value PMTBR_GUARDED_BY(mu) = 0;
+
+  int get() PMTBR_REQUIRES(mu) { return value; }
+  void bump() PMTBR_EXCLUDES(mu) {
+    pmtbr::util::MutexLock lock(mu);
+    ++value;
+  }
+};
+
+int use_correctly(Guarded& g) {
+  g.bump();
+  pmtbr::util::MutexLock lock(g.mu);
+  return g.get() + g.value;
+}
+
+int use_unique_lock(Guarded& g) {
+  pmtbr::util::UniqueLock lock(g.mu);
+  const int v = g.value;
+  lock.unlock();
+  return v;
+}

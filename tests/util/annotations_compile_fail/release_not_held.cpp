@@ -1,0 +1,9 @@
+// VIOLATION: releasing a capability that is not held (double unlock).
+// Must be rejected by -Werror=thread-safety.
+#include "util/mutex.hpp"
+
+void double_unlock(pmtbr::util::Mutex& mu) {
+  mu.lock();
+  mu.unlock();
+  mu.unlock();  // mu no longer held
+}

@@ -1,0 +1,14 @@
+// VIOLATION: calling a PMTBR_REQUIRES(mu) function without holding mu.
+// Must be rejected by -Werror=thread-safety.
+#include "util/mutex.hpp"
+
+struct Guarded {
+  pmtbr::util::Mutex mu;
+  int value PMTBR_GUARDED_BY(mu) = 0;
+
+  int get() PMTBR_REQUIRES(mu) { return value; }
+};
+
+int call_without_lock(Guarded& g) {
+  return g.get();  // precondition mu not satisfied
+}

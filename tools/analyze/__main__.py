@@ -1,0 +1,10 @@
+"""Directory/module execution: python3 tools/analyze  or  python3 -m analyze."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyze.cli import main  # noqa: E402
+
+sys.exit(main())

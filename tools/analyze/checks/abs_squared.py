@@ -1,0 +1,34 @@
+"""abs-squared: |x| * |x| or pow(|x|, 2) where std::norm is meant.
+
+std::norm computes the squared magnitude directly, exactly for complex
+arguments, and skips the sqrt.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import registry
+
+ABS_SQUARED_RES = [
+    re.compile(r"std::abs\s*\(([^()]*(?:\([^()]*\))?[^()]*)\)\s*\*\s*std::abs\s*\(\1\)"),
+    re.compile(r"std::pow\s*\(\s*std::abs\s*\([^;]*?,\s*2(?:\.0)?\s*\)"),
+]
+
+
+@registry.register(
+    "abs-squared",
+    "std::abs(x)*std::abs(x) / pow(abs(x),2) where std::norm is exact")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files():
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            for pat in ABS_SQUARED_RES:
+                for m in pat.finditer(line):
+                    token = re.sub(r"\s+", " ", m.group(0).strip())
+                    out.append(ctx.finding(
+                        "abs-squared", path, i, token,
+                        f"`{token}`: squared magnitude — use std::norm, "
+                        "which is exact for complex arguments and skips "
+                        "the sqrt"))
+    return out

@@ -1,0 +1,53 @@
+"""counter-discipline: obs counter writes must go through the helpers.
+
+The observability counters are relaxed atomics behind
+``obs::counter_add`` / ``counter_value`` (src/util/obs/counters.hpp). Two
+bypasses are flagged:
+
+1. touching the raw ``g_counters`` array anywhere outside its owning
+   files — that skips the enum-keyed API and its memory-order policy;
+2. atomic read-modify-write calls (``fetch_add`` etc.) in src/ without an
+   explicit ``std::memory_order`` argument. The implicit default is
+   seq_cst, which silently puts a full fence in a hot path; every RMW in
+   library code states its ordering on purpose.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import registry
+
+OWNER_FILES = {"src/util/obs/counters.hpp", "src/util/obs/counters.cpp"}
+
+RAW_COUNTERS_RE = re.compile(r"\bg_counters\b")
+
+RMW_RE = re.compile(
+    r"\.\s*(fetch_add|fetch_sub|fetch_or|fetch_and|fetch_xor|exchange)"
+    r"\s*\(([^()]*(?:\([^()]*\)[^()]*)*)\)")
+
+
+@registry.register(
+    "counter-discipline",
+    "obs counter writes bypassing the relaxed-atomic helpers")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files(under="src"):
+        rel = ctx.rel(path)
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            if rel not in OWNER_FILES:
+                for _ in RAW_COUNTERS_RE.finditer(line):
+                    out.append(ctx.finding(
+                        "counter-discipline", path, i, "g_counters",
+                        "raw `g_counters` access outside "
+                        "src/util/obs/counters.* — go through "
+                        "obs::counter_add/counter_value"))
+            for m in RMW_RE.finditer(line):
+                if "memory_order" in m.group(2):
+                    continue
+                out.append(ctx.finding(
+                    "counter-discipline", path, i, m.group(1),
+                    f"`{m.group(1)}` without an explicit std::memory_order "
+                    "— the seq_cst default is a full fence; state the "
+                    "ordering (relaxed for counters) or allowlist"))
+    return out

@@ -1,0 +1,43 @@
+"""float-eq: exact ==/!= on floating-point values.
+
+Exact-zero skip optimizations are legitimate but must be allowlisted so
+each one is a recorded decision, not an accident.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import registry
+
+FLOAT_EQ_PATTERNS = [
+    # == / != against a float literal: 0.0, 1.5, 1e-9, .5
+    re.compile(r"[=!]=\s*[-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)"),
+    re.compile(r"(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)\s*[=!]="),
+    # |x| == ... (comparing a magnitude exactly)
+    re.compile(r"std::abs\s*\([^()]*\)\s*[=!]="),
+]
+# `x == T{}` / `x == cd{0}` exact-zero skips: flagged too — cheap to
+# allowlist, dangerous to let slip in unnoticed in a convergence loop.
+FLOAT_EQ_ZEROINIT = re.compile(r"[=!]=\s*(?:T\{\}|cd\{0\}|la::cd\{0\})")
+
+
+@registry.register(
+    "float-eq",
+    "exact ==/!= floating-point comparisons (allowlist records each one)")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files():
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            hits = []
+            for pat in FLOAT_EQ_PATTERNS:
+                hits.extend(m.group(0) for m in pat.finditer(line))
+            hits.extend(m.group(0) for m in FLOAT_EQ_ZEROINIT.finditer(line))
+            for h in hits:
+                token = re.sub(r"\s+", " ", h.strip())
+                out.append(ctx.finding(
+                    "float-eq", path, i, token,
+                    f"exact floating-point comparison `{token}` — use a "
+                    "tolerance, or allowlist if the exact compare is "
+                    "intentional"))
+    return out

@@ -1,0 +1,73 @@
+"""lock-outside-api: direct .lock()/.unlock() outside the locking API.
+
+All locking in src/ goes through the scoped types in util/mutex.hpp
+(MutexLock / UniqueLock), so every acquire provably has a release on every
+path and clang's thread-safety analysis can see both. A direct
+``m.lock()`` / ``m.unlock()`` / ``m.try_lock()`` call anywhere else is a
+hole in that contract — including on a raw std::mutex, which the analysis
+cannot track at all.
+
+When the libclang backend is available the finding set is refined to
+member calls whose object is a mutex-like type; the tokenizer fallback
+flags every member call with these names (the names are specific enough
+that anything matching deserves a look, and sanctioned uses are
+allowlisted like any other finding).
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import clangast, registry
+
+# The annotated wrappers are the one place allowed to touch the raw
+# locking primitives.
+OWNER_FILES = {"src/util/mutex.hpp"}
+
+LOCK_CALL_RE = re.compile(r"(?:\.|->)\s*(lock|unlock|try_lock)\s*\(")
+
+MUTEX_TYPE_RE = re.compile(r"(Mutex|mutex|UniqueLock|unique_lock)")
+
+
+def _ast_confirms(ctx, path) -> set[int] | None:
+    """Line numbers of mutex-typed lock member calls per the AST, or None
+    when the AST backend cannot answer (fallback keeps every finding)."""
+    tu = ctx.parse_tu(path)
+    if tu is None:
+        return None
+    lines: set[int] = set()
+    try:
+        for cursor, obj_type in clangast.member_calls(
+                tu, {"lock", "unlock", "try_lock"}):
+            if MUTEX_TYPE_RE.search(obj_type or ""):
+                lines.add(cursor.location.line)
+    except Exception:
+        return None
+    return lines
+
+
+@registry.register(
+    "lock-outside-api",
+    "direct .lock()/.unlock()/.try_lock() calls outside util/mutex.hpp")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files(under="src"):
+        rel = ctx.rel(path)
+        if rel in OWNER_FILES:
+            continue
+        hits = []
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            for m in LOCK_CALL_RE.finditer(line):
+                hits.append((i, m.group(1)))
+        if not hits:
+            continue
+        confirmed = _ast_confirms(ctx, path)
+        for i, name in hits:
+            if confirmed is not None and i not in confirmed:
+                continue
+            out.append(ctx.finding(
+                "lock-outside-api", path, i, name,
+                f"direct `.{name}()` call outside util/mutex.hpp — lock "
+                "through util::MutexLock/UniqueLock so the acquire/release "
+                "pair is scoped and visible to -Wthread-safety"))
+    return out

@@ -1,0 +1,146 @@
+"""missing-guard: public matrix-taking free functions without contracts.
+
+Public free functions declared in la/ops.hpp, lyap/*.hpp and mor/*.hpp
+that take matrix/vector arguments must state a PMTBR_REQUIRE /
+PMTBR_CHECK_FINITE contract in their definition (or delegate immediately
+to a guarded implementation).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from analyze import registry
+
+GUARDED_HEADER_GLOBS = ["la/ops.hpp", "lyap/*.hpp", "mor/*.hpp"]
+
+# Free-function declaration in a header: return type, name, ( ... ) ;
+DECL_RE = re.compile(
+    r"^\s*(?:template\s*<[^>]*>\s*)?"
+    r"(?:[A-Za-z_][\w:<>,\s*&]*?)\s+"
+    r"([a-z_][a-z0-9_]*)\s*\(",
+    re.MULTILINE,
+)
+
+MATRIXLIKE_RE = re.compile(r"\b(Matrix|MatD|MatC|Csr|CsrD|CsrC|VecD|VecC|std::vector)\b")
+CONTRACT_RE = re.compile(r"\bPMTBR_(REQUIRE|ENSURE|CHECK_FINITE|DEBUG_ASSERT)\b")
+
+# Function bodies may delegate immediately to a guarded implementation; a
+# single call-through line also counts (the contract lives one level down,
+# which the lint verifies for that function separately when it is public).
+CALL_THROUGH_RE = re.compile(r"^\s*return\s+[a-z_][\w:]*\s*\(")
+
+
+def strip_class_bodies(code: str) -> str:
+    """Blanks out class/struct bodies: the guard check covers free functions
+    only (members state their contracts against their own invariants)."""
+    out = list(code)
+    for m in re.finditer(r"\b(?:class|struct)\s+\w+[^;{]*\{", code):
+        depth = 0
+        i = m.end() - 1
+        while i < len(code):
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        for k in range(m.end(), min(i, len(code))):
+            if out[k] != "\n":
+                out[k] = " "
+    return "".join(out)
+
+
+def find_public_functions(code: str) -> list[str]:
+    """Names of matrix-taking free functions declared in cleaned header
+    text (class bodies already stripped by the caller)."""
+    out = []
+    for m in DECL_RE.finditer(code):
+        name = m.group(1)
+        tail = code[m.end(): m.end() + 400]
+        params = tail.split(")")[0]
+        if MATRIXLIKE_RE.search(params) or MATRIXLIKE_RE.search(
+            code[max(0, m.start() - 120): m.start()]
+        ):
+            out.append(name)
+    return out
+
+
+def function_has_contract(cpp_text: str, name: str) -> bool | None:
+    """True/False if the definition was found, None if not found."""
+    pat = re.compile(
+        r"^(?:[A-Za-z_][\w:<>,\s*&]*\s+)?(?:[\w:]+::)?" + re.escape(name) + r"\s*\(",
+        re.MULTILINE,
+    )
+    for m in pat.finditer(cpp_text):
+        # Walk to the opening brace of the body.
+        depth = 0
+        i = m.end() - 1
+        while i < len(cpp_text):
+            ch = cpp_text[i]
+            if ch == "(":
+                depth += 1
+            elif ch == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        j = i + 1
+        while j < len(cpp_text) and cpp_text[j] in " \tconstexprnoexcept\n":
+            j += 1
+        if j >= len(cpp_text) or cpp_text[j] != "{":
+            continue  # declaration, not definition
+        body_end = j
+        depth = 0
+        while body_end < len(cpp_text):
+            if cpp_text[body_end] == "{":
+                depth += 1
+            elif cpp_text[body_end] == "}":
+                depth -= 1
+                if depth == 0:
+                    break
+            body_end += 1
+        body = cpp_text[j:body_end]
+        head = "\n".join(body.splitlines()[:40])
+        if CONTRACT_RE.search(head):
+            return True
+        if CALL_THROUGH_RE.search(body.strip("{} \n")):
+            return True
+        return False
+    return None
+
+
+@registry.register(
+    "missing-guard",
+    "public matrix-taking free functions whose definitions state no contract")
+def run(ctx):
+    src_root = ctx.src_root()
+    if src_root is None:
+        return []
+    out = []
+    headers: list[Path] = []
+    for pattern in GUARDED_HEADER_GLOBS:
+        headers.extend(sorted(src_root.glob(pattern)))
+    for header in headers:
+        cpp = header.with_suffix(".cpp")
+        cpp_text = cpp.read_text() if cpp.exists() else ""
+        header_text = ctx.text(header)
+        code = strip_class_bodies(ctx.clean_text(header))
+        for name in find_public_functions(code):
+            has = function_has_contract(cpp_text, name)
+            if has is None:
+                has = function_has_contract(header_text, name)
+            if has is False:
+                line_no = next(
+                    (i for i, l in enumerate(header_text.splitlines(), 1)
+                     if re.search(rf"\b{re.escape(name)}\s*\(", l)),
+                    1,
+                )
+                out.append(ctx.finding(
+                    "missing-guard", header, line_no, name,
+                    f"public function `{name}` takes matrix/vector "
+                    "arguments but its definition states no "
+                    "PMTBR_REQUIRE/PMTBR_CHECK_FINITE contract"))
+    return out

@@ -1,0 +1,62 @@
+"""narrowing-index: int-typed loop/index arithmetic over matrix extents.
+
+The hot paths in la/ and sparse/ index with ``la::index`` (ptrdiff_t).
+A loop counter declared ``int`` bounded by ``.rows()``/``.cols()``/
+``.size()``/``nnz()`` — or a ``static_cast<int>`` of such an extent —
+truncates above 2^31 elements and, worse, mixes signedness in the
+comparison. Constant-bounded ``int`` counters (sweep limits etc.) are
+fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import lexer, registry
+
+SCOPES = ("src/la/", "src/sparse/")
+
+EXTENT_RE = r"(?:\.rows\s*\(\)|\.cols\s*\(\)|\.size\s*\(\)|\bnnz\s*\(\)|\brows_\b|\bcols_\b)"
+
+# for (int i = ...; <cond mentioning an extent>; ...)
+FOR_INT_RE = re.compile(
+    r"\bfor\s*\(\s*(?:unsigned\s+int|unsigned|int|short|long)\s+(\w+)\s*[=:]"
+    r"[^;{]*;[^;{]*" + EXTENT_RE)
+
+# static_cast<int>(expr-with-extent)
+NARROW_CAST_RE = re.compile(
+    r"static_cast<\s*(?:unsigned\s+int|unsigned|int|short)\s*>\s*\(")
+
+
+@registry.register(
+    "narrowing-index",
+    "int/size_t narrowing in loop/index arithmetic of la/ and sparse/")
+def run(ctx):
+    out = []
+    extent = re.compile(EXTENT_RE)
+    for path in ctx.cpp_files():
+        rel = ctx.rel(path)
+        if not any(rel.startswith(s) for s in SCOPES):
+            continue
+        clean = ctx.clean_text(path)
+        for m in FOR_INT_RE.finditer(clean):
+            line = lexer.line_of(clean, m.start())
+            out.append(ctx.finding(
+                "narrowing-index", path, line, m.group(1),
+                f"`int {m.group(1)}` loop counter bounded by a matrix "
+                "extent — use la::index (ptrdiff_t) so the comparison "
+                "neither narrows nor mixes signedness"))
+        for m in NARROW_CAST_RE.finditer(clean):
+            close = lexer.matching_brace(clean, m.end() - 1)
+            if close == -1:
+                continue
+            arg = clean[m.end():close]
+            if not extent.search(arg):
+                continue
+            token = re.sub(r"\s+", " ", clean[m.start():close + 1])[:60]
+            line = lexer.line_of(clean, m.start())
+            out.append(ctx.finding(
+                "narrowing-index", path, line, "static_cast<int>",
+                f"`{token}`: narrowing a matrix extent to int — keep it "
+                "in la::index/std::size_t through the arithmetic"))
+    return out

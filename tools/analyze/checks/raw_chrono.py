@@ -1,0 +1,39 @@
+"""raw-chrono: std::chrono timing in src/ outside the observability layer.
+
+Ad-hoc clocks bypass the scoped tracing that feeds the run manifest, so
+their numbers never reach bench_out/MANIFEST_*.json. Use
+PMTBR_TRACE_SCOPE (or util::Timer at a bench boundary) and allowlist the
+few sanctioned uses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import registry
+
+# The trace layer itself owns the clock; everything else in src/ must time
+# through PMTBR_TRACE_SCOPE so the numbers land in the run manifest.
+CHRONO_EXEMPT_PREFIXES = ("src/util/obs/",)
+
+RAW_CHRONO_RE = re.compile(r"\bstd::chrono\b")
+
+
+@registry.register(
+    "raw-chrono",
+    "std::chrono timing in src/ bypassing the trace layer")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files(under="src"):
+        rel = ctx.rel(path)
+        if any(rel.startswith(p) for p in CHRONO_EXEMPT_PREFIXES):
+            continue
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            if RAW_CHRONO_RE.search(line):
+                out.append(ctx.finding(
+                    "raw-chrono", path, i, "std::chrono",
+                    "raw `std::chrono` timing bypasses the trace layer — "
+                    "use PMTBR_TRACE_SCOPE (util/obs/trace.hpp) so the "
+                    "timing reaches the run manifest, or allowlist a "
+                    "sanctioned use"))
+    return out

@@ -1,0 +1,39 @@
+"""raw-data-access: raw buffer indexing outside the owning container.
+
+``data_[`` / ``val_[`` / ``ptr_[`` / ``col_[`` bypass every shape check;
+each raw member may only be indexed inside the file(s) that own it.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import registry
+
+RAW_MEMBER_OWNERS = {
+    "data_": {"src/la/matrix.hpp"},
+    "val_": {"src/sparse/csr.hpp", "src/sparse/csr.cpp"},
+    "ptr_": {"src/sparse/csr.hpp", "src/sparse/csr.cpp"},
+    "col_": {"src/sparse/csr.hpp", "src/sparse/csr.cpp"},
+}
+
+RAW_MEMBER_RE = re.compile(r"\b(data_|val_|ptr_|col_)\s*\[")
+
+
+@registry.register(
+    "raw-data-access",
+    "raw data_[]/val_[]/ptr_[]/col_[] indexing outside the owning container")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files():
+        rel = ctx.rel(path)
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            for m in RAW_MEMBER_RE.finditer(line):
+                member = m.group(1)
+                if rel in RAW_MEMBER_OWNERS.get(member, set()):
+                    continue
+                out.append(ctx.finding(
+                    "raw-data-access", path, i, member,
+                    f"raw `{member}[...]` access outside the owning class "
+                    "(use the shape-checked accessors)"))
+    return out

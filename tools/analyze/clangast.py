@@ -1,0 +1,119 @@
+"""Optional libclang backend.
+
+When the ``clang`` Python bindings and a loadable ``libclang`` shared
+library are present, checks can parse translation units with the exact
+flags recorded in the compile database and refine their token-level
+findings on the real AST. When either piece is missing — the common case
+on minimal CI images — ``available()`` returns False and every check runs
+its tokenizer fallback, which is the fully supported baseline.
+
+The loader is defensive on purpose: any failure (missing module, missing
+shared object, ABI mismatch, parse error) downgrades to the fallback
+instead of failing the lint run.
+"""
+
+from __future__ import annotations
+
+import glob
+from pathlib import Path
+
+_STATE: dict = {"probed": False, "index": None, "cindex": None}
+
+_LIBCLANG_GLOBS = [
+    "/usr/lib/llvm-*/lib/libclang.so*",
+    "/usr/lib/x86_64-linux-gnu/libclang-*.so*",
+    "/usr/local/lib/libclang.so*",
+]
+
+
+def _probe():
+    if _STATE["probed"]:
+        return
+    _STATE["probed"] = True
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError:
+        return
+    try:
+        index = cindex.Index.create()
+    except Exception:
+        # Default library lookup failed; try well-known locations.
+        index = None
+        for pattern in _LIBCLANG_GLOBS:
+            for candidate in sorted(glob.glob(pattern), reverse=True):
+                try:
+                    cindex.Config.loaded = False
+                    cindex.Config.set_library_file(candidate)
+                    index = cindex.Index.create()
+                    break
+                except Exception:
+                    continue
+            if index is not None:
+                break
+        if index is None:
+            return
+    _STATE["index"] = index
+    _STATE["cindex"] = cindex
+
+
+def available() -> bool:
+    _probe()
+    return _STATE["index"] is not None
+
+
+def cindex():
+    """The clang.cindex module, or None."""
+    _probe()
+    return _STATE["cindex"]
+
+
+def parse(file: Path, args: list[str]):
+    """Parses `file` with compile-database `args`; None on any failure.
+
+    `args` is the full recorded command line; the compiler executable and
+    -c/-o pairs are stripped since libclang supplies its own driver.
+    """
+    _probe()
+    if _STATE["index"] is None:
+        return None
+    clean_args: list[str] = []
+    skip_next = False
+    for i, a in enumerate(args):
+        if skip_next:
+            skip_next = False
+            continue
+        if i == 0 and not a.startswith("-"):
+            continue  # compiler executable
+        if a in ("-c", str(file)):
+            continue
+        if a == "-o":
+            skip_next = True
+            continue
+        clean_args.append(a)
+    try:
+        return _STATE["index"].parse(str(file), args=clean_args)
+    except Exception:
+        return None
+
+
+def member_calls(tu, names: set[str]):
+    """Yields (cursor, object_type_spelling) for member calls named in
+    `names` within the translation unit. Helper for type-aware checks."""
+    mod = _STATE["cindex"]
+    if tu is None or mod is None:
+        return
+    kind = mod.CursorKind.CXX_METHOD
+    call = mod.CursorKind.CALL_EXPR
+    member_ref = mod.CursorKind.MEMBER_REF_EXPR
+    for cursor in tu.cursor.walk_preorder():
+        if cursor.kind == call and cursor.spelling in names:
+            obj_type = ""
+            for child in cursor.get_children():
+                if child.kind == member_ref:
+                    for sub in child.get_children():
+                        obj_type = sub.type.spelling
+                        break
+                    break
+            ref = cursor.referenced
+            if ref is not None and ref.kind == kind:
+                yield cursor, obj_type

@@ -1,0 +1,106 @@
+"""Driver: load checks, run them over the tree, apply the allowlist.
+
+Exit status is 1 when there are unsuppressed findings OR stale allowlist
+entries, 0 when clean — same contract the legacy lint had, now covering
+nine checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from analyze import clangast, registry
+from analyze.context import Context
+from analyze.findings import Allowlist
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+DEFAULT_ALLOWLIST = REPO_ROOT / "tools" / "lint_allowlist.txt"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="analyze",
+        description="pmtbr plugin-based static analyzer "
+                    "(compile_commands-driven; libclang when available)")
+    ap.add_argument("roots", nargs="*", type=Path,
+                    help="files or directories to scan (default: src)")
+    ap.add_argument("-p", "--compile-commands", type=Path, default=None,
+                    help="build directory or compile_commands.json; scopes "
+                         "sources to the actual build and feeds libclang")
+    ap.add_argument("--allowlist", type=Path, default=DEFAULT_ALLOWLIST,
+                    help="suppression file (check:file:token per line)")
+    ap.add_argument("--checks", default=None,
+                    help="comma-separated subset of checks to run")
+    ap.add_argument("--list-checks", action="store_true",
+                    help="print registered checks and exit")
+    ap.add_argument("--repo-root", type=Path, default=REPO_ROOT,
+                    help=argparse.SUPPRESS)  # for the unit tests
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    import analyze.checks  # noqa: F401  (registers the bundled checks)
+
+    checks = registry.all_checks()
+    if args.list_checks:
+        for name, check in checks.items():
+            print(f"{name:20s} {check.description}")
+        return 0
+
+    if args.checks is not None:
+        wanted = {c.strip() for c in args.checks.split(",") if c.strip()}
+        unknown = wanted - checks.keys()
+        if unknown:
+            print(f"analyze: unknown check(s): {', '.join(sorted(unknown))}",
+                  file=sys.stderr)
+            return 2
+        checks = {n: c for n, c in checks.items() if n in wanted}
+
+    repo_root = args.repo_root.resolve()
+    roots = [r if r.is_absolute() else repo_root / r for r in args.roots]
+    if not roots:
+        roots = [repo_root / "src"]
+
+    started = time.monotonic()
+    try:
+        ctx = Context(repo_root, roots, compile_db=args.compile_commands)
+    except FileNotFoundError as e:
+        print(f"analyze: error: {e}", file=sys.stderr)
+        return 2
+
+    findings = []
+    for check in checks.values():
+        findings.extend(check.fn(ctx))
+    findings.sort(key=lambda f: (f.rel(), f.line_no, f.check))
+
+    allow = Allowlist(args.allowlist)
+    visible, used = allow.split(findings)
+    stale = allow.stale(used, ctx.scanned_rel_roots(), set(checks))
+
+    for f in visible:
+        print(f, file=sys.stderr)
+    for s in sorted(stale):
+        print(f"stale allowlist entry (no longer matches anything): {s}",
+              file=sys.stderr)
+
+    elapsed = time.monotonic() - started
+    backend = "libclang" if ctx.ast_available() else "tokenizer"
+    if visible or stale:
+        print(
+            f"\nanalyze: {len(visible)} finding(s), {len(stale)} stale "
+            "allowlist entr(y/ies). Fix them or add a justified line to "
+            f"{args.allowlist.name}.",
+            file=sys.stderr)
+        return 1
+    print(f"analyze: clean ({len(ctx.files)} files, {len(checks)} checks, "
+          f"{len(used)} allowlisted, {backend} backend, {elapsed:.1f}s).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""compile_commands.json loading.
+
+The compile database is the source of truth for which translation units
+are part of the build (dead files are not analyzed) and for the exact
+flags each TU compiles with, which the optional libclang backend reuses.
+"""
+
+from __future__ import annotations
+
+import json
+import shlex
+from pathlib import Path
+
+
+class TranslationUnit:
+    def __init__(self, file: Path, args: list[str], directory: Path):
+        self.file = file
+        self.args = args
+        self.directory = directory
+
+
+def _resolve(path: Path) -> Path:
+    """Accepts a build directory or a direct path to the JSON file."""
+    if path.is_dir():
+        return path / "compile_commands.json"
+    return path
+
+
+def load(path: Path) -> list[TranslationUnit]:
+    db_path = _resolve(path)
+    if not db_path.exists():
+        raise FileNotFoundError(
+            f"{db_path} not found — configure with "
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON (the repo CMakeLists does "
+            "this by default)")
+    out: list[TranslationUnit] = []
+    for entry in json.loads(db_path.read_text()):
+        directory = Path(entry.get("directory", "."))
+        file = Path(entry["file"])
+        if not file.is_absolute():
+            file = directory / file
+        if "arguments" in entry:
+            args = list(entry["arguments"])
+        else:
+            args = shlex.split(entry.get("command", ""))
+        out.append(TranslationUnit(file.resolve(), args, directory))
+    return out

@@ -1,0 +1,121 @@
+"""Analysis context: file discovery, caching, and finding construction.
+
+The context owns everything checks share — the repo root findings key
+against, the file set (from the compile database when available, a
+directory walk otherwise), cached raw/cleaned text per file, and the
+optional libclang handle. Checks stay pure functions of the context.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from analyze import clangast, compiledb, lexer
+from analyze.findings import Finding
+
+CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
+HEADER_SUFFIXES = {".hpp", ".h"}
+
+
+class Context:
+    def __init__(self, repo_root: Path, roots: list[Path],
+                 compile_db: Path | None = None):
+        self.repo_root = repo_root.resolve()
+        self.roots = [r.resolve() for r in roots]
+        self.tus: list[compiledb.TranslationUnit] = []
+        if compile_db is not None:
+            self.tus = compiledb.load(compile_db)
+        self.files = self._discover()
+        self._text: dict[Path, str] = {}
+        self._clean: dict[Path, str] = {}
+
+    # --- file discovery -----------------------------------------------------
+
+    def _discover(self) -> list[Path]:
+        files: set[Path] = set()
+        for root in self.roots:
+            if root.is_file():
+                files.add(root.resolve())
+                continue
+            if self.tus:
+                # Sources come from the compile database (what the build
+                # actually compiles); headers from the tree, since they
+                # have no TU entries of their own.
+                files.update(t.file for t in self.tus
+                             if t.file.is_relative_to(root) and t.file.exists())
+                files.update(p.resolve() for p in root.rglob("*")
+                             if p.suffix in HEADER_SUFFIXES)
+            else:
+                files.update(p.resolve() for p in root.rglob("*")
+                             if p.suffix in CPP_SUFFIXES)
+        return sorted(files)
+
+    # --- cached file access -------------------------------------------------
+
+    def text(self, path: Path) -> str:
+        path = path.resolve()
+        if path not in self._text:
+            self._text[path] = path.read_text(errors="replace")
+        return self._text[path]
+
+    def clean_text(self, path: Path) -> str:
+        """Comment/literal-stripped text, line structure preserved."""
+        path = path.resolve()
+        if path not in self._clean:
+            self._clean[path] = lexer.clean_text(self.text(path))
+        return self._clean[path]
+
+    def clean_lines(self, path: Path) -> list[str]:
+        return self.clean_text(path).split("\n")
+
+    # --- scoping helpers ----------------------------------------------------
+
+    def rel(self, path: Path) -> str:
+        return path.resolve().relative_to(self.repo_root).as_posix()
+
+    def cpp_files(self, under: str | None = None) -> list[Path]:
+        """All discovered files, optionally restricted to a repo-relative
+        prefix such as "src/" or "src/la/"."""
+        if under is None:
+            return list(self.files)
+        prefix = under.rstrip("/") + "/"
+        return [f for f in self.files if self.rel(f).startswith(prefix)]
+
+    def src_root(self) -> Path | None:
+        """The scanned root that holds the library tree (contains la/)."""
+        for root in self.roots:
+            base = root if root.is_dir() else root.parent
+            if (base / "la").is_dir() or base.name == "la":
+                return base if (base / "la").is_dir() else base.parent
+        return None
+
+    def scanned_rel_roots(self) -> list[str]:
+        out = []
+        for root in self.roots:
+            try:
+                out.append(root.relative_to(self.repo_root).as_posix())
+            except ValueError:
+                pass
+        return out
+
+    # --- libclang (optional) ------------------------------------------------
+
+    def ast_available(self) -> bool:
+        return bool(self.tus) and clangast.available()
+
+    def parse_tu(self, path: Path):
+        """libclang TU for `path` (must be a compile-database source);
+        None when the AST backend is unavailable."""
+        if not self.ast_available():
+            return None
+        path = path.resolve()
+        for tu in self.tus:
+            if tu.file == path:
+                return clangast.parse(tu.file, tu.args)
+        return None
+
+    # --- findings -----------------------------------------------------------
+
+    def finding(self, check: str, path: Path, line_no: int, token: str,
+                message: str) -> Finding:
+        return Finding(check, path, line_no, token, message, self.repo_root)

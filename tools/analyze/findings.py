@@ -1,0 +1,77 @@
+"""Finding and allowlist handling shared by every check.
+
+A finding is identified by ``check:file:token`` — the same key format the
+legacy lint used, so the existing ``tools/lint_allowlist.txt`` carries over
+unchanged. The allowlist is strict in both directions: an unsuppressed
+finding fails the run, and so does an allowlist entry that no longer
+matches any finding (scoped to the roots and checks that actually ran, so
+a partial run cannot false-alarm on the rest of the file).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+
+class Finding:
+    """One diagnostic, keyed for allowlisting by (check, file, token)."""
+
+    def __init__(self, check: str, path: Path, line_no: int, token: str,
+                 message: str, repo_root: Path):
+        self.check = check
+        self.path = path
+        self.line_no = line_no
+        self.token = token
+        self.message = message
+        self.repo_root = repo_root
+
+    def rel(self) -> str:
+        return self.path.resolve().relative_to(self.repo_root).as_posix()
+
+    def key(self) -> str:
+        return f"{self.check}:{self.rel()}:{self.token}"
+
+    def __str__(self) -> str:
+        return f"{self.rel()}:{self.line_no}: [{self.check}] {self.message}"
+
+
+class Allowlist:
+    """``check:file:token`` suppression file with strict staleness."""
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.entries: set[str] = set()
+        if path.exists():
+            for raw in path.read_text().splitlines():
+                line = raw.split("#", 1)[0].strip()
+                if line:
+                    self.entries.add(line)
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], set[str]]:
+        """Returns (visible findings, used entries)."""
+        used: set[str] = set()
+        visible: list[Finding] = []
+        for f in findings:
+            if f.key() in self.entries:
+                used.add(f.key())
+            else:
+                visible.append(f)
+        return visible, used
+
+    def stale(self, used: set[str], scanned_rel_roots: list[str],
+              ran_checks: set[str]) -> set[str]:
+        """Entries that matched nothing, restricted to what this run could
+        have matched: the file must lie under a scanned root and the check
+        must have run."""
+
+        def in_scope(entry: str) -> bool:
+            parts = entry.split(":")
+            if len(parts) < 3:
+                return True  # malformed: always report so it gets fixed
+            check, path = parts[0], parts[1]
+            if check not in ran_checks:
+                return False
+            return any(path == p or path.startswith(p.rstrip("/") + "/")
+                       for p in scanned_rel_roots)
+
+        return {e for e in self.entries - used if in_scope(e)}

@@ -1,0 +1,145 @@
+"""Minimal C++ lexical cleanup for regex/token-based checks.
+
+``clean_text`` removes comments and the contents of string/char literals
+while preserving the line structure exactly, so downstream regexes see
+only code and reported line numbers stay accurate. This is deliberately a
+lexer, not a parser: block comments and literals spanning lines are
+handled; raw strings get a best-effort treatment (the ``R"delim(...)``
+form with an empty delimiter).
+"""
+
+from __future__ import annotations
+
+
+def clean_text(text: str) -> str:
+    """Returns `text` with comments removed and literal contents blanked.
+
+    Newlines are preserved (including those inside removed block comments)
+    so ``clean_text(t).splitlines()[i]`` lines up with the original file.
+    String/char literals keep their quotes but lose their contents.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw_string
+    raw_end = ""
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                i += 2
+                continue
+            if c == '"':
+                # Raw string? Look back for R / u8R / LR / uR / UR.
+                j = i - 1
+                prefix = ""
+                while j >= 0 and text[j] in "uU8LR" and len(prefix) < 3:
+                    prefix = text[j] + prefix
+                    j -= 1
+                glued_to_identifier = j >= 0 and (text[j].isalnum() or text[j] == "_")
+                if prefix.endswith("R") and not glued_to_identifier:
+                    # R"delim( ... )delim"
+                    k = text.find("(", i + 1)
+                    if k != -1:
+                        delim = text[i + 1 : k]
+                        raw_end = ")" + delim + '"'
+                        state = "raw_string"
+                        out.append('"')
+                        i += 1
+                        continue
+                state = "string"
+                out.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+                continue
+            out.append(c)
+            i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                out.append("\n")
+                state = "code"
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                i += 2
+                continue
+            if c == "\n":
+                out.append("\n")
+            i += 1
+        elif state == "string":
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                out.append('"')
+                state = "code"
+            elif c == "\n":  # unterminated; keep line structure
+                out.append("\n")
+                state = "code"
+            i += 1
+        elif state == "char":
+            if c == "\\":
+                i += 2
+                continue
+            if c == "'":
+                out.append("'")
+                state = "code"
+            elif c == "\n":
+                out.append("\n")
+                state = "code"
+            i += 1
+        else:  # raw_string
+            if text.startswith(raw_end, i):
+                out.append('"')
+                i += len(raw_end)
+                state = "code"
+                continue
+            if c == "\n":
+                out.append("\n")
+            i += 1
+
+    return "".join(out)
+
+
+def clean_lines(text: str) -> list[str]:
+    """Comment/literal-stripped lines, 1:1 with the original file's lines."""
+    return clean_text(text).split("\n")
+
+
+def line_of(text: str, pos: int) -> int:
+    """1-based line number of character offset `pos` in `text`."""
+    return text.count("\n", 0, pos) + 1
+
+
+def matching_brace(text: str, open_pos: int) -> int:
+    """Offset of the brace/paren/bracket matching the one at `open_pos`.
+
+    `text` must already be comment/literal-clean. Returns -1 when
+    unbalanced (truncated file); callers treat that as "no body found".
+    """
+    pairs = {"{": "}", "(": ")", "[": "]"}
+    opener = text[open_pos]
+    closer = pairs[opener]
+    depth = 0
+    for i in range(open_pos, len(text)):
+        c = text[i]
+        if c == opener:
+            depth += 1
+        elif c == closer:
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1

@@ -1,0 +1,49 @@
+"""Check plugin registry.
+
+A check registers itself at import time:
+
+    from analyze import registry
+
+    @registry.register(
+        "my-check",
+        "one-line description shown by --list-checks")
+    def run(ctx):
+        return [ctx.finding("my-check", path, line, token, message), ...]
+
+The function receives an ``analyze.context.Context`` and returns a list of
+``analyze.findings.Finding``. Checks decide their own file scope through
+the context helpers (``ctx.cpp_files()``, ``ctx.rel()``); the driver only
+orchestrates and applies the allowlist. ``analyze.checks`` imports every
+bundled check module, so adding a file there (plus one import) is the
+whole recipe for a new check — see docs/CORRECTNESS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class Check:
+    def __init__(self, name: str, description: str, fn: Callable):
+        self.name = name
+        self.description = description
+        self.fn = fn
+
+
+_REGISTRY: dict[str, Check] = {}
+
+
+def register(name: str, description: str):
+    def deco(fn: Callable) -> Callable:
+        if name in _REGISTRY:
+            raise ValueError(f"duplicate check name: {name}")
+        _REGISTRY[name] = Check(name, description, fn)
+        return fn
+
+    return deco
+
+
+def all_checks() -> dict[str, Check]:
+    """Registered checks, sorted by name. Importing analyze.checks first
+    is the caller's job (the CLI does it)."""
+    return dict(sorted(_REGISTRY.items()))

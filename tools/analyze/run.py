@@ -1,0 +1,12 @@
+#!/usr/bin/env python3
+"""Launcher: python3 tools/analyze/run.py [roots...] [-p BUILDDIR]."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyze.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,416 +1,24 @@
 #!/usr/bin/env python3
-"""Project-specific numerics lint for the pmtbr codebase.
+"""DEPRECATED: thin shim over the plugin analyzer in tools/analyze/.
 
-Five checks, each targeting a hazard class that has historically produced
-silent numerical corruption (or unobservable behavior) in hand-rolled
-linear algebra:
+The numerics lint grew into a compile_commands-driven check framework;
+this entry point survives so existing docs, CI recipes and muscle memory
+keep working. It forwards its arguments unchanged — the five original
+checks (raw-data-access, float-eq, missing-guard, abs-squared,
+raw-chrono) run along with the newer concurrency/perf checks, against the
+same tools/lint_allowlist.txt.
 
-  raw-data-access     `data_[`, `val_[`, `ptr_[`, `col_[` touched outside the
-                      file that owns the container. Raw buffer indexing
-                      bypasses every shape check; it is only allowed inside
-                      the owning class.
-  float-eq            `==`/`!=` against floating-point literals or between
-                      obviously floating expressions. Exact-zero skip
-                      optimizations are legitimate but must be allowlisted
-                      so each one is a recorded decision, not an accident.
-  missing-guard       public free functions declared in la/ops.hpp, lyap/*.hpp
-                      and mor/*.hpp taking matrix/vector arguments whose
-                      definitions never state a PMTBR_REQUIRE /
-                      PMTBR_CHECK_FINITE contract.
-  abs-squared         |x| * |x| or pow(|x|, 2) — squaring a magnitude that
-                      std::norm computes directly (and more accurately for
-                      complex arguments).
-  raw-chrono          `std::chrono` timing in src/ outside the observability
-                      layer (src/util/obs/). Ad-hoc clocks bypass the scoped
-                      tracing that feeds the run manifest, so their numbers
-                      never reach bench_out/MANIFEST_*.json. Use
-                      PMTBR_TRACE_SCOPE (or util::Timer at a bench boundary)
-                      and allowlist the few sanctioned uses.
-
-Findings are suppressed by tools/lint_allowlist.txt: one `check:file:token`
-per line, `#` comments allowed. `file` is relative to the repo root; `token`
-is the offending function name (missing-guard) or the exact matched text
-(other checks). Run:  python3 tools/lint_numerics.py src
+Prefer:  python3 tools/analyze/run.py [roots...] [-p BUILDDIR]
 """
 
-from __future__ import annotations
-
-import re
 import sys
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-ALLOWLIST_PATH = REPO_ROOT / "tools" / "lint_allowlist.txt"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-CPP_SUFFIXES = {".cpp", ".hpp", ".h", ".cc"}
-
-# --- finding -----------------------------------------------------------------
-
-
-class Finding:
-    def __init__(self, check: str, path: Path, line_no: int, token: str, message: str):
-        self.check = check
-        self.path = path
-        self.line_no = line_no
-        self.token = token
-        self.message = message
-
-    def key(self) -> str:
-        rel = self.path.resolve().relative_to(REPO_ROOT)
-        return f"{self.check}:{rel.as_posix()}:{self.token}"
-
-    def __str__(self) -> str:
-        rel = self.path.resolve().relative_to(REPO_ROOT)
-        return f"{rel.as_posix()}:{self.line_no}: [{self.check}] {self.message}"
-
-
-def load_allowlist() -> set[str]:
-    entries: set[str] = set()
-    if not ALLOWLIST_PATH.exists():
-        return entries
-    for raw in ALLOWLIST_PATH.read_text().splitlines():
-        line = raw.split("#", 1)[0].strip()
-        if line:
-            entries.add(line)
-    return entries
-
-
-def strip_comments(line: str) -> str:
-    """Removes // comments and string literals so regexes see only code."""
-    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
-    return re.sub(r"//.*", "", line)
-
-
-# --- check 1: raw data_ access outside the owning file ----------------------
-
-# Owner files for each raw-buffer member. Anywhere else, indexing these
-# members directly is a layering violation.
-RAW_MEMBER_OWNERS = {
-    "data_": {"src/la/matrix.hpp"},
-    "val_": {"src/sparse/csr.hpp", "src/sparse/csr.cpp"},
-    "ptr_": {"src/sparse/csr.hpp", "src/sparse/csr.cpp"},
-    "col_": {"src/sparse/csr.hpp", "src/sparse/csr.cpp"},
-}
-
-RAW_MEMBER_RE = re.compile(r"\b(data_|val_|ptr_|col_)\s*\[")
-
-
-def check_raw_data_access(path: Path, lines: list[str]) -> list[Finding]:
-    rel = path.resolve().relative_to(REPO_ROOT).as_posix()
-    out = []
-    for i, line in enumerate(lines, 1):
-        code = strip_comments(line)
-        for m in RAW_MEMBER_RE.finditer(code):
-            member = m.group(1)
-            if rel in RAW_MEMBER_OWNERS.get(member, set()):
-                continue
-            out.append(
-                Finding(
-                    "raw-data-access", path, i, member,
-                    f"raw `{member}[...]` access outside the owning class "
-                    "(use the shape-checked accessors)",
-                )
-            )
-    return out
-
-
-# --- check 2: floating-point == / != ----------------------------------------
-
-FLOAT_EQ_PATTERNS = [
-    # == / != against a float literal: 0.0, 1.5, 1e-9, .5
-    re.compile(r"[=!]=\s*[-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)"),
-    re.compile(r"(?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)\s*[=!]="),
-    # |x| == ... (comparing a magnitude exactly)
-    re.compile(r"std::abs\s*\([^()]*\)\s*[=!]="),
-]
-# `x == T{}` / `x == cd{0}` exact-zero skips: flagged too — cheap to
-# allowlist, dangerous to let slip in unnoticed in a convergence loop.
-FLOAT_EQ_ZEROINIT = re.compile(r"[=!]=\s*(?:T\{\}|cd\{0\}|la::cd\{0\})")
-
-
-def check_float_eq(path: Path, lines: list[str]) -> list[Finding]:
-    out = []
-    for i, line in enumerate(lines, 1):
-        code = strip_comments(line)
-        hits = []
-        for pat in FLOAT_EQ_PATTERNS:
-            hits.extend(m.group(0) for m in pat.finditer(code))
-        hits.extend(m.group(0) for m in FLOAT_EQ_ZEROINIT.finditer(code))
-        for h in hits:
-            token = re.sub(r"\s+", " ", h.strip())
-            out.append(
-                Finding(
-                    "float-eq", path, i, token,
-                    f"exact floating-point comparison `{token}` — use a tolerance, "
-                    "or allowlist if the exact compare is intentional",
-                )
-            )
-    return out
-
-
-# --- check 3: public free functions without contracts ------------------------
-
-GUARDED_HEADER_GLOBS = ["la/ops.hpp", "lyap/*.hpp", "mor/*.hpp"]
-
-# Free-function declaration in a header: return type, name, ( ... ) ;
-DECL_RE = re.compile(
-    r"^\s*(?:template\s*<[^>]*>\s*)?"
-    r"(?:[A-Za-z_][\w:<>,\s*&]*?)\s+"
-    r"([a-z_][a-z0-9_]*)\s*\(",
-    re.MULTILINE,
-)
-
-MATRIXLIKE_RE = re.compile(r"\b(Matrix|MatD|MatC|Csr|CsrD|CsrC|VecD|VecC|std::vector)\b")
-CONTRACT_RE = re.compile(r"\bPMTBR_(REQUIRE|ENSURE|CHECK_FINITE|DEBUG_ASSERT)\b")
-
-# Function bodies may delegate immediately to a guarded implementation; a
-# single call-through line also counts (the contract lives one level down,
-# which the lint verifies for that function separately when it is public).
-CALL_THROUGH_RE = re.compile(r"^\s*return\s+[a-z_][\w:]*\s*\(")
-
-
-def strip_class_bodies(code: str) -> str:
-    """Blanks out class/struct bodies: the guard check covers free functions
-    only (members state their contracts against their own invariants)."""
-    out = list(code)
-    for m in re.finditer(r"\b(?:class|struct)\s+\w+[^;{]*\{", code):
-        depth = 0
-        i = m.end() - 1
-        while i < len(code):
-            if code[i] == "{":
-                depth += 1
-            elif code[i] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        for k in range(m.end(), min(i, len(code))):
-            if out[k] != "\n":
-                out[k] = " "
-    return "".join(out)
-
-
-def find_public_functions(header: Path) -> list[tuple[str, str]]:
-    """Returns (name, declaration-line) for matrix-taking free functions."""
-    text = header.read_text()
-    # Strip comment lines to avoid matching prose.
-    code = "\n".join(strip_comments(l) for l in text.splitlines())
-    code = strip_class_bodies(code)
-    out = []
-    for m in DECL_RE.finditer(code):
-        name = m.group(1)
-        # Capture through to the closing paren for parameter inspection.
-        tail = code[m.end(): m.end() + 400]
-        params = tail.split(")")[0]
-        decl_line = code[m.start(): m.end()] + params + ")"
-        if MATRIXLIKE_RE.search(params) or MATRIXLIKE_RE.search(
-            code[max(0, m.start() - 120): m.start()]
-        ):
-            out.append((name, decl_line))
-    return out
-
-
-def function_has_contract(cpp_text: str, name: str) -> bool | None:
-    """True/False if the definition was found, None if not found."""
-    # Definition: name( ... ) { at statement level (not a call: preceded by
-    # a type or qualified name, and followed eventually by '{').
-    pat = re.compile(
-        r"^(?:[A-Za-z_][\w:<>,\s*&]*\s+)?(?:[\w:]+::)?" + re.escape(name) + r"\s*\(",
-        re.MULTILINE,
-    )
-    for m in pat.finditer(cpp_text):
-        # Walk to the opening brace of the body.
-        depth = 0
-        i = m.end() - 1
-        while i < len(cpp_text):
-            ch = cpp_text[i]
-            if ch == "(":
-                depth += 1
-            elif ch == ")":
-                depth -= 1
-                if depth == 0:
-                    break
-            i += 1
-        j = i + 1
-        while j < len(cpp_text) and cpp_text[j] in " \tconstexprnoexcept\n":
-            j += 1
-        if j >= len(cpp_text) or cpp_text[j] != "{":
-            continue  # declaration, not definition
-        # Scan the body (max ~40 lines) for a contract macro.
-        body_end = j
-        depth = 0
-        while body_end < len(cpp_text):
-            if cpp_text[body_end] == "{":
-                depth += 1
-            elif cpp_text[body_end] == "}":
-                depth -= 1
-                if depth == 0:
-                    break
-            body_end += 1
-        body = cpp_text[j:body_end]
-        head = "\n".join(body.splitlines()[:40])
-        if CONTRACT_RE.search(head):
-            return True
-        if CALL_THROUGH_RE.search(body.strip("{} \n")):
-            return True
-        return False
-    return None
-
-
-def check_missing_guards(src_root: Path) -> list[Finding]:
-    out = []
-    headers: list[Path] = []
-    for pattern in GUARDED_HEADER_GLOBS:
-        headers.extend(sorted(src_root.glob(pattern)))
-    for header in headers:
-        cpp = header.with_suffix(".cpp")
-        cpp_text = cpp.read_text() if cpp.exists() else ""
-        header_text = header.read_text()
-        for name, _decl in find_public_functions(header):
-            has = function_has_contract(cpp_text, name)
-            if has is None:
-                has = function_has_contract(header_text, name)
-            if has is False:
-                line_no = next(
-                    (i for i, l in enumerate(header_text.splitlines(), 1)
-                     if re.search(rf"\b{re.escape(name)}\s*\(", l)),
-                    1,
-                )
-                out.append(
-                    Finding(
-                        "missing-guard", header, line_no, name,
-                        f"public function `{name}` takes matrix/vector arguments but "
-                        "its definition states no PMTBR_REQUIRE/PMTBR_CHECK_FINITE "
-                        "contract",
-                    )
-                )
-    return out
-
-
-# --- check 4: abs() squared where std::norm is meant -------------------------
-
-ABS_SQUARED_RES = [
-    re.compile(r"std::abs\s*\(([^()]*(?:\([^()]*\))?[^()]*)\)\s*\*\s*std::abs\s*\(\1\)"),
-    re.compile(r"std::pow\s*\(\s*std::abs\s*\([^;]*?,\s*2(?:\.0)?\s*\)"),
-]
-
-
-def check_abs_squared(path: Path, lines: list[str]) -> list[Finding]:
-    out = []
-    for i, line in enumerate(lines, 1):
-        code = strip_comments(line)
-        for pat in ABS_SQUARED_RES:
-            for m in pat.finditer(code):
-                token = re.sub(r"\s+", " ", m.group(0).strip())
-                out.append(
-                    Finding(
-                        "abs-squared", path, i, token,
-                        f"`{token}`: squared magnitude — use std::norm, which is "
-                        "exact for complex arguments and skips the sqrt",
-                    )
-                )
-    return out
-
-
-# --- check 5: raw std::chrono timing outside the observability layer ---------
-
-# The trace layer itself owns the clock; everything else in src/ must time
-# through PMTBR_TRACE_SCOPE so the numbers land in the run manifest.
-CHRONO_EXEMPT_PREFIXES = ("src/util/obs/",)
-
-RAW_CHRONO_RE = re.compile(r"\bstd::chrono\b")
-
-
-def check_raw_chrono(path: Path, lines: list[str]) -> list[Finding]:
-    rel = path.resolve().relative_to(REPO_ROOT).as_posix()
-    if not rel.startswith("src/"):
-        return []
-    if any(rel.startswith(p) for p in CHRONO_EXEMPT_PREFIXES):
-        return []
-    out = []
-    for i, line in enumerate(lines, 1):
-        code = strip_comments(line)
-        if RAW_CHRONO_RE.search(code):
-            out.append(
-                Finding(
-                    "raw-chrono", path, i, "std::chrono",
-                    "raw `std::chrono` timing bypasses the trace layer — use "
-                    "PMTBR_TRACE_SCOPE (util/obs/trace.hpp) so the timing "
-                    "reaches the run manifest, or allowlist a sanctioned use",
-                )
-            )
-    return out
-
-
-# --- driver ------------------------------------------------------------------
-
-
-def main(argv: list[str]) -> int:
-    roots = [Path(a) for a in argv[1:]] or [REPO_ROOT / "src"]
-    files: list[Path] = []
-    for root in roots:
-        if root.is_file():
-            files.append(root)
-        else:
-            files.extend(p for p in sorted(root.rglob("*")) if p.suffix in CPP_SUFFIXES)
-
-    findings: list[Finding] = []
-    for path in files:
-        lines = path.read_text().splitlines()
-        findings.extend(check_raw_data_access(path, lines))
-        findings.extend(check_float_eq(path, lines))
-        findings.extend(check_abs_squared(path, lines))
-        findings.extend(check_raw_chrono(path, lines))
-    for root in roots:
-        src_root = root if root.is_dir() else root.parent
-        if (src_root / "la").is_dir() or src_root.name == "la":
-            findings.extend(check_missing_guards(src_root))
-            break
-
-    allow = load_allowlist()
-    used: set[str] = set()
-    visible = []
-    for f in findings:
-        if f.key() in allow:
-            used.add(f.key())
-            continue
-        visible.append(f)
-
-    # Only entries whose file lies under a scanned root can be judged stale:
-    # a scoped run (e.g. on one subdirectory) must not false-alarm on the
-    # rest of the allowlist.
-    scanned_prefixes = []
-    for root in roots:
-        resolved = root.resolve()
-        try:
-            scanned_prefixes.append(resolved.relative_to(REPO_ROOT).as_posix())
-        except ValueError:
-            pass
-    def in_scope(entry: str) -> bool:
-        parts = entry.split(":")
-        if len(parts) < 2:
-            return True
-        path = parts[1]
-        return any(path == p or path.startswith(p.rstrip("/") + "/")
-                   for p in scanned_prefixes)
-    stale = {e for e in allow - used if in_scope(e)}
-    for f in visible:
-        print(f, file=sys.stderr)
-    if stale:
-        for s in sorted(stale):
-            print(f"stale allowlist entry (no longer matches anything): {s}",
-                  file=sys.stderr)
-    if visible or stale:
-        print(
-            f"\nlint_numerics: {len(visible)} finding(s), {len(stale)} stale "
-            "allowlist entr(y/ies). Fix them or add a justified line to "
-            "tools/lint_allowlist.txt.",
-            file=sys.stderr,
-        )
-        return 1
-    print(f"lint_numerics: clean ({len(files)} files, {len(allow)} allowlisted).")
-    return 0
-
+from analyze.cli import main  # noqa: E402
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    print("note: tools/lint_numerics.py is deprecated — it now forwards to "
+          "the plugin analyzer (tools/analyze/run.py).", file=sys.stderr)
+    sys.exit(main())

@@ -1,0 +1,224 @@
+#!/usr/bin/env python3
+"""Unit tests for the analyzer driver: allowlist strictness, compile-DB
+file discovery, and CLI exit codes. Companion to test_analyze_checks.py;
+run directly or via ctest (AnalyzeDriver.UnitTests)."""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import tempfile
+import unittest
+from contextlib import redirect_stderr, redirect_stdout
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from analyze import cli, compiledb
+from analyze.context import Context
+from analyze.findings import Allowlist, Finding
+
+
+def make_repo(tmp: Path, files: dict[str, str]) -> Path:
+    for rel, text in files.items():
+        p = tmp / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(text)
+    return tmp
+
+
+def finding(repo: Path, check: str, rel: str, token: str) -> Finding:
+    return Finding(check, repo / rel, 1, token, "msg", repo)
+
+
+class AllowlistTest(unittest.TestCase):
+    def test_split_suppresses_exact_key(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "allow.txt": "float-eq:src/la/x.cpp:== 0.0  # justified\n",
+                "src/la/x.cpp": "",
+            })
+            allow = Allowlist(repo / "allow.txt")
+            hit = finding(repo, "float-eq", "src/la/x.cpp", "== 0.0")
+            miss = finding(repo, "float-eq", "src/la/x.cpp", "!= 1.0")
+            visible, used = allow.split([hit, miss])
+            self.assertEqual(visible, [miss])
+            self.assertEqual(used, {"float-eq:src/la/x.cpp:== 0.0"})
+
+    def test_stale_entry_reported_when_in_scope(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "allow.txt": "float-eq:src/la/gone.cpp:== 0.0\n",
+            })
+            allow = Allowlist(repo / "allow.txt")
+            stale = allow.stale(set(), ["src"], {"float-eq"})
+            self.assertEqual(stale, {"float-eq:src/la/gone.cpp:== 0.0"})
+
+    def test_stale_scoped_to_ran_checks_and_roots(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "allow.txt":
+                    "float-eq:src/la/gone.cpp:== 0.0\n"
+                    "raw-chrono:src/mor/gone.cpp:std::chrono\n"
+                    "float-eq:bench/gone.cpp:== 0.0\n",
+            })
+            allow = Allowlist(repo / "allow.txt")
+            # Only float-eq ran, only src/ scanned: the raw-chrono entry and
+            # the bench/ entry must not false-alarm.
+            stale = allow.stale(set(), ["src"], {"float-eq"})
+            self.assertEqual(stale, {"float-eq:src/la/gone.cpp:== 0.0"})
+
+    def test_malformed_entry_always_reported(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {"allow.txt": "not-a-valid-entry\n"})
+            allow = Allowlist(repo / "allow.txt")
+            self.assertEqual(allow.stale(set(), [], set()),
+                             {"not-a-valid-entry"})
+
+    def test_comments_and_blanks_ignored(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "allow.txt": "# header comment\n\nfloat-eq:src/x.cpp:== 0.0\n",
+            })
+            self.assertEqual(len(Allowlist(repo / "allow.txt").entries), 1)
+
+
+class CompileDbTest(unittest.TestCase):
+    def _write_db(self, repo: Path, entries) -> Path:
+        build = repo / "build"
+        build.mkdir()
+        (build / "compile_commands.json").write_text(json.dumps(entries))
+        return build
+
+    def test_sources_come_from_db_headers_from_tree(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/la/in_build.cpp": "int a;\n",
+                "src/la/dead_code.cpp": "int b;\n",
+                "src/la/header.hpp": "int c;\n",
+            })
+            build = self._write_db(repo, [{
+                "directory": str(repo / "build"),
+                "file": str(repo / "src/la/in_build.cpp"),
+                "command": "c++ -c ../src/la/in_build.cpp",
+            }])
+            ctx = Context(repo, [repo / "src"], compile_db=build)
+            rels = [ctx.rel(f) for f in ctx.files]
+            self.assertIn("src/la/in_build.cpp", rels)
+            self.assertIn("src/la/header.hpp", rels)
+            self.assertNotIn("src/la/dead_code.cpp", rels)
+
+    def test_accepts_build_dir_or_json_path(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {"src/a.cpp": ""})
+            build = self._write_db(repo, [{
+                "directory": str(repo / "build"),
+                "file": str(repo / "src/a.cpp"),
+                "arguments": ["c++", "-c", "src/a.cpp"],
+            }])
+            from_dir = compiledb.load(build)
+            from_json = compiledb.load(build / "compile_commands.json")
+            self.assertEqual([t.file for t in from_dir],
+                             [t.file for t in from_json])
+            self.assertEqual(from_dir[0].args, ["c++", "-c", "src/a.cpp"])
+
+    def test_missing_db_raises_with_hint(self):
+        with tempfile.TemporaryDirectory() as d:
+            with self.assertRaises(FileNotFoundError) as caught:
+                compiledb.load(Path(d))
+            self.assertIn("CMAKE_EXPORT_COMPILE_COMMANDS", str(caught.exception))
+
+
+class CliTest(unittest.TestCase):
+    def _run(self, argv):
+        out, err = io.StringIO(), io.StringIO()
+        with redirect_stdout(out), redirect_stderr(err):
+            code = cli.main(argv)
+        return code, out.getvalue(), err.getvalue()
+
+    def test_clean_run_exits_zero(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/la/ok.cpp": "void f() { g(); }\n",
+                "allow.txt": "",
+            })
+            code, out, err = self._run(
+                ["src", "--repo-root", str(repo),
+                 "--allowlist", str(repo / "allow.txt")])
+            self.assertEqual(code, 0, err)
+            self.assertIn("analyze: clean", out)
+
+    def test_finding_exits_one(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/la/bad.cpp": "if (w == 0.0) skip();\n",
+                "allow.txt": "",
+            })
+            code, _, err = self._run(
+                ["src", "--repo-root", str(repo),
+                 "--allowlist", str(repo / "allow.txt")])
+            self.assertEqual(code, 1)
+            self.assertIn("[float-eq]", err)
+
+    def test_allowlisted_finding_is_clean(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/la/bad.cpp": "if (w == 0.0) skip();\n",
+                "allow.txt": "float-eq:src/la/bad.cpp:== 0.0\n",
+            })
+            code, out, err = self._run(
+                ["src", "--repo-root", str(repo),
+                 "--allowlist", str(repo / "allow.txt")])
+            self.assertEqual(code, 0, err)
+            self.assertIn("1 allowlisted", out)
+
+    def test_stale_allowlist_exits_one(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/la/ok.cpp": "void f();\n",
+                "allow.txt": "float-eq:src/la/gone.cpp:== 0.0\n",
+            })
+            code, _, err = self._run(
+                ["src", "--repo-root", str(repo),
+                 "--allowlist", str(repo / "allow.txt")])
+            self.assertEqual(code, 1)
+            self.assertIn("stale allowlist entry", err)
+
+    def test_checks_subset_limits_staleness(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/la/ok.cpp": "void f();\n",
+                # Stale float-eq entry, but only raw-chrono runs.
+                "allow.txt": "float-eq:src/la/gone.cpp:== 0.0\n",
+            })
+            code, out, err = self._run(
+                ["src", "--checks", "raw-chrono", "--repo-root", str(repo),
+                 "--allowlist", str(repo / "allow.txt")])
+            self.assertEqual(code, 0, err)
+            self.assertIn("1 checks", out)
+
+    def test_unknown_check_exits_two(self):
+        code, _, err = self._run(["--checks", "no-such-check"])
+        self.assertEqual(code, 2)
+        self.assertIn("unknown check", err)
+
+    def test_list_checks(self):
+        code, out, _ = self._run(["--list-checks"])
+        self.assertEqual(code, 0)
+        for name in ("float-eq", "lock-outside-api", "narrowing-index"):
+            self.assertIn(name, out)
+
+    def test_missing_compile_db_exits_two(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {"src/a.cpp": ""})
+            code, _, err = self._run(
+                ["src", "-p", str(repo / "no-such-build"),
+                 "--repo-root", str(repo),
+                 "--allowlist", str(repo / "allow.txt")])
+            self.assertEqual(code, 2)
+            self.assertIn("analyze: error", err)
+
+
+if __name__ == "__main__":
+    unittest.main()
