@@ -45,6 +45,10 @@ int main() {
     if (res.hankel_estimates[i] > 0)
       decades = std::log10(res.hankel_estimates[0] / res.hankel_estimates[i]);
   bench::note("estimate decay spans " + std::to_string(decades) + " decades");
-  bench::write_run_manifest("fig05_hsv_convergence");
+  // Per-sample degradation stats (retries/drops/reweights — all zero on a
+  // clean run) travel with the manifest so PMTBR_FAULTS sweeps are auditable
+  // via report_metrics.py.
+  bench::write_run_manifest("fig05_hsv_convergence",
+                            {mor::degradation_extra(res.degradation)});
   return 0;
 }

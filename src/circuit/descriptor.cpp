@@ -65,6 +65,13 @@ const std::vector<index>& DescriptorSystem::ordering_locked(Cache& cache) const 
 }
 
 std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) const {
+  auto sym = try_symbolic_for(s);
+  if (!sym.is_ok()) throw util::StatusError(sym.status());
+  return std::move(sym).value();
+}
+
+util::Expected<std::shared_ptr<const sparse::SymbolicLuC>> DescriptorSystem::try_symbolic_for(
+    cd s) const {
   Cache& cache = *cache_;
   util::MutexLock lock(cache.mutex);
   if (!cache.symbolic) {
@@ -72,8 +79,9 @@ std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) 
     // serialize here so exactly one symbolic analysis is ever built.
     obs::counter_add(obs::Counter::kSymbolicCacheMiss);
     const std::vector<index> perm = ordering_locked(cache);
-    cache.symbolic = std::make_shared<const sparse::SymbolicLuC>(
-        sparse::shifted_pencil(s, e_, a_), perm);
+    auto lu = sparse::SparseLuC::factor(sparse::shifted_pencil(s, e_, a_), perm);
+    if (!lu.is_ok()) return lu.status();
+    cache.symbolic = std::make_shared<const sparse::SymbolicLuC>(lu.value().symbolic());
   } else {
     obs::counter_add(obs::Counter::kSymbolicCacheHit);
   }
@@ -82,21 +90,68 @@ std::shared_ptr<const sparse::SymbolicLuC> DescriptorSystem::symbolic_for(cd s) 
 
 void DescriptorSystem::prepare_shifted(cd s) const { symbolic_for(s); }
 
+util::Status DescriptorSystem::try_prepare_shifted(cd s) const {
+  auto sym = try_symbolic_for(s);
+  if (!sym.is_ok()) return sym.status();
+  return {};
+}
+
+namespace {
+
+// δ = rel · max|entry|, added to the pencil's existing diagonal slots only
+// (pattern-preserving; rows with no structural diagonal are left alone).
+void regularize_diagonal(sparse::CsrC& m, double rel) {
+  double max_abs = 0.0;
+  for (const cd& v : m.values()) max_abs = std::max(max_abs, std::abs(v));
+  const cd delta(rel * max_abs, 0.0);
+  for (index i = 0; i < m.rows(); ++i)
+    for (index k = m.row_ptr()[static_cast<std::size_t>(i)];
+         k < m.row_ptr()[static_cast<std::size_t>(i) + 1]; ++k)
+      if (m.col_idx()[static_cast<std::size_t>(k)] == i)
+        m.values()[static_cast<std::size_t>(k)] += delta;
+}
+
+}  // namespace
+
 sparse::SparseLuC DescriptorSystem::factor_shifted(cd s) const {
+  auto lu = try_factor_shifted(s, 0.0);
+  if (!lu.is_ok()) throw util::StatusError(lu.status());
+  return std::move(lu).value();
+}
+
+util::Expected<sparse::SparseLuC> DescriptorSystem::try_factor_shifted(cd s,
+                                                                       double diag_reg) const {
   PMTBR_TRACE_SCOPE("descriptor.factor_shifted");
-  const auto sym = symbolic_for(s);
-  const sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
-  auto lu = sparse::SparseLuC::try_refactor(*sym, pencil);
-  if (lu) return std::move(*lu);
+  auto sym = try_symbolic_for(s);
+  if (!sym.is_ok()) return sym.status();
+  sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
+  if (diag_reg > 0.0) regularize_diagonal(pencil, diag_reg);
+  auto lu = sparse::SparseLuC::refactor(*sym.value(), pencil);
+  if (lu.is_ok()) return lu;
   // Frozen pivot order degenerate at this shift: full factorization with
   // fresh pivoting (deterministic — depends only on the pencil values).
-  return sparse::SparseLuC(pencil, ordering());
+  return sparse::SparseLuC::factor(pencil, ordering());
 }
 
 MatC DescriptorSystem::solve_shifted(cd s, const MatC& rhs) const {
+  auto x = try_solve_shifted(s, rhs);
+  if (!x.is_ok()) throw util::StatusError(x.status());
+  return std::move(x).value();
+}
+
+util::Expected<MatC> DescriptorSystem::try_solve_shifted(cd s, const MatC& rhs,
+                                                         double diag_reg) const {
   PMTBR_TRACE_SCOPE("descriptor.solve_shifted");
   obs::counter_add(obs::Counter::kShiftedSolve);
-  return factor_shifted(s).solve(rhs);
+  auto lu = try_factor_shifted(s, diag_reg);
+  if (!lu.is_ok()) return lu.status();
+  return lu.value().solve(rhs);
+}
+
+util::Expected<MatC> DescriptorSystem::try_transfer(cd s, double diag_reg) const {
+  auto x = try_solve_shifted(s, la::to_complex(b_), diag_reg);
+  if (!x.is_ok()) return x.status();
+  return la::matmul(la::to_complex(c_), x.value());
 }
 
 MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {

@@ -20,6 +20,7 @@
 #include "sparse/splu.hpp"
 #include "util/annotations.hpp"
 #include "util/mutex.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr {
 
@@ -67,6 +68,28 @@ class DescriptorSystem {
   /// scheduling and identical to a serial run.
   void prepare_shifted(la::cd s) const;
 
+  // Non-throwing variants for the fault-tolerant sampling pipeline
+  // (docs/ROBUSTNESS.md): every data-caused failure — a singular pencil at
+  // this shift, a degenerate frozen pivot, an injected test fault — travels
+  // as a Status instead of an exception, so callers can retry, regularize,
+  // or drop the sample.
+  //
+  // `diag_reg` is a RELATIVE diagonal regularization: when positive,
+  // δ = diag_reg · max|pencil entry| is added to the pencil's existing
+  // diagonal slots before factoring (pattern-preserving). It is the
+  // last-resort fallback for a shift landing exactly on a pole; the
+  // perturbation it introduces is O(diag_reg) relative, so keep it tiny.
+
+  /// Status-carrying prepare_shifted: ensures the symbolic cache exists.
+  util::Status try_prepare_shifted(la::cd s) const;
+
+  /// X = (sE - A)^{-1} R, Status-carrying.
+  util::Expected<la::MatC> try_solve_shifted(la::cd s, const la::MatC& rhs,
+                                             double diag_reg = 0.0) const;
+
+  /// H(s) = C (sE - A)^{-1} B, Status-carrying.
+  util::Expected<la::MatC> try_transfer(la::cd s, double diag_reg = 0.0) const;
+
  private:
   /// Shared lazily-computed state. Held behind one shared_ptr so copies of
   /// a system (which share the same E/A) also share the caches, and so the
@@ -85,7 +108,9 @@ class DescriptorSystem {
   const std::vector<la::index>& ordering_locked(Cache& cache) const
       PMTBR_REQUIRES(cache.mutex);
   std::shared_ptr<const sparse::SymbolicLuC> symbolic_for(la::cd s) const;
+  util::Expected<std::shared_ptr<const sparse::SymbolicLuC>> try_symbolic_for(la::cd s) const;
   sparse::SparseLuC factor_shifted(la::cd s) const;
+  util::Expected<sparse::SparseLuC> try_factor_shifted(la::cd s, double diag_reg) const;
 
   sparse::CsrD e_, a_;
   la::MatD b_, c_;

@@ -6,7 +6,23 @@
 namespace pmtbr::la {
 
 template <typename T>
-Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
+Lu<T>::Lu(Matrix<T> a) {
+  auto lu = factor(std::move(a));
+  if (!lu.is_ok()) throw util::StatusError(lu.status());
+  *this = std::move(lu).value();
+}
+
+template <typename T>
+util::Expected<Lu<T>> Lu<T>::factor(Matrix<T> a) {
+  Lu<T> lu;
+  util::Status st = lu.factorize(std::move(a));
+  if (!st.is_ok()) return std::move(st);
+  return lu;
+}
+
+template <typename T>
+util::Status Lu<T>::factorize(Matrix<T> a) {
+  lu_ = std::move(a);
   PMTBR_REQUIRE(lu_.rows() == lu_.cols(), "LU requires a square matrix");
   PMTBR_CHECK_FINITE(lu_, "LU input matrix");
   const index n = lu_.rows();
@@ -28,7 +44,10 @@ Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
       for (index j = 0; j < n; ++j) std::swap(lu_(k, j), lu_(p, j));
     }
     const T pivot = lu_(k, k);
-    PMTBR_ENSURE(std::abs(cd(pivot)) > 0, "singular matrix in LU factorization");
+    if (!(std::abs(cd(pivot)) > 0))
+      return util::Status(util::ErrorCode::kSingularMatrix,
+                          "singular matrix in LU factorization")
+          .with_detail(k, 0.0);
     const T inv_pivot = T{1} / pivot;
     for (index i = k + 1; i < n; ++i) {
       const T lik = lu_(i, k) * inv_pivot;
@@ -39,6 +58,7 @@ Lu<T>::Lu(Matrix<T> a) : lu_(std::move(a)) {
       for (index j = k + 1; j < n; ++j) ri[j] -= lik * rk[j];
     }
   }
+  return {};
 }
 
 template <typename T>

@@ -8,15 +8,20 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::la {
 
 template <typename T>
 class Lu {
  public:
-  /// Factors PA = LU with partial pivoting. Throws std::runtime_error if the
-  /// matrix is numerically singular.
+  /// Factors PA = LU with partial pivoting. Throws util::StatusError (a
+  /// std::runtime_error) if the matrix is numerically singular.
   explicit Lu(Matrix<T> a);
+
+  /// Non-throwing factorization: kSingularMatrix (detail = failing step)
+  /// when a zero pivot column is hit.
+  static util::Expected<Lu> factor(Matrix<T> a);
 
   index n() const { return lu_.rows(); }
 
@@ -39,6 +44,9 @@ class Lu {
   int swap_count() const { return swaps_; }
 
  private:
+  Lu() = default;
+  util::Status factorize(Matrix<T> a);
+
   Matrix<T> lu_;
   std::vector<index> piv_;  // piv_[k] = row swapped with k at step k
   int swaps_ = 0;

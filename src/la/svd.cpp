@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "la/ops.hpp"
+#include "util/faultinject.hpp"
 #include "util/obs/counters.hpp"
 #include "util/obs/trace.hpp"
 
@@ -16,8 +17,9 @@ namespace {
 constexpr int kMaxSweeps = 60;
 
 // One-sided Jacobi on a tall (m >= n) matrix g; v accumulates the right
-// rotations when non-null.
-void jacobi_onesided(MatD& g, MatD* v) {
+// rotations when non-null. Returns false when the sweep budget is
+// exhausted before the rotations settle.
+bool jacobi_onesided(MatD& g, MatD* v) {
   const index m = g.rows(), n = g.cols();
   const double eps = std::numeric_limits<double>::epsilon();
 
@@ -60,19 +62,21 @@ void jacobi_onesided(MatD& g, MatD* v) {
         }
       }
     }
-    if (!rotated) return;
+    if (!rotated) return true;
   }
   // Non-convergence after kMaxSweeps sweeps is practically impossible for
   // Jacobi; if it happens the result is still a usable approximation.
+  return false;
 }
 
-SvdResult svd_tall(const MatD& a, bool want_vectors) {
+SvdResult svd_tall(const MatD& a, bool want_vectors, bool* converged = nullptr) {
   PMTBR_TRACE_SCOPE("la.svd");
   obs::counter_add(obs::Counter::kSvdCalls);
   const index m = a.rows(), n = a.cols();
   MatD g = a;
   MatD v = MatD::identity(n);
-  jacobi_onesided(g, want_vectors ? &v : nullptr);
+  const bool ok = jacobi_onesided(g, want_vectors ? &v : nullptr);
+  if (converged) *converged = ok;
 
   // Column norms are the singular values.
   std::vector<double> s(static_cast<std::size_t>(n));
@@ -117,6 +121,27 @@ SvdResult svd(const MatD& a) {
   out.u = std::move(t.v);
   out.v = std::move(t.u);
   out.s = std::move(t.s);
+  return out;
+}
+
+util::Expected<SvdResult> try_svd(const MatD& a) {
+  PMTBR_REQUIRE(!a.empty(), "svd of empty matrix");
+  PMTBR_CHECK_FINITE(a, "svd input matrix");
+  if (util::fault::should_fail(util::fault::Site::kSvdConverge))
+    return util::Status(util::ErrorCode::kInjectedFault, "svd.converge fault injected");
+  bool converged = false;
+  SvdResult out;
+  if (a.rows() >= a.cols()) {
+    out = svd_tall(a, true, &converged);
+  } else {
+    SvdResult t = svd_tall(transpose(a), true, &converged);
+    out.u = std::move(t.v);
+    out.v = std::move(t.u);
+    out.s = std::move(t.s);
+  }
+  if (!converged)
+    return util::Status(util::ErrorCode::kNoConvergence,
+                        "one-sided Jacobi SVD exhausted its sweep budget");
   return out;
 }
 

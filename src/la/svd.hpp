@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "la/matrix.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::la {
 
@@ -24,6 +25,11 @@ struct SvdResult {
 
 /// Thin SVD of an m×n real matrix (any shape), k = min(m, n).
 SvdResult svd(const MatD& a);
+
+/// Status-carrying SVD: kNoConvergence if the Jacobi sweep budget is
+/// exhausted (practically impossible; svd() silently returns the usable
+/// approximation instead), kInjectedFault under the svd.converge site.
+util::Expected<SvdResult> try_svd(const MatD& a);
 
 /// Singular values only (still O(mn^2) but skips accumulating V).
 std::vector<double> singular_values(const MatD& a);

@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <sstream>
 
 #include "la/ops.hpp"
 #include "mor/compressor.hpp"
+#include "util/faultinject.hpp"
 #include "util/logging.hpp"
 #include "util/obs/counters.hpp"
+#include "util/obs/json.hpp"
 #include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
@@ -15,13 +18,10 @@ namespace pmtbr::mor {
 
 namespace {
 
-// Weighted, realified sample block for one frequency point.
-MatD sample_block(const DescriptorSystem& sys, const FrequencySample& fs) {
-  PMTBR_TRACE_SCOPE("pmtbr.sample_block");
-  const la::MatC z = sys.solve_shifted(fs.s, la::to_complex(sys.b()));
-  // Fold in the Parseval 1/(2π) so ZW^2Z^H approximates the true Gramian.
-  // A sample at +jω implicitly carries its conjugate pair at -jω (the
-  // realified columns span both), so it gets twice the weight.
+// Fold in the Parseval 1/(2π) so ZW^2Z^H approximates the true Gramian.
+// A sample at +jω implicitly carries its conjugate pair at -jω (the
+// realified columns span both), so it gets twice the weight.
+MatD weight_block(const la::MatC& z, const FrequencySample& fs) {
   if (std::abs(fs.s.imag()) == 0.0) {
     MatD block = la::real_part(z);
     block *= std::sqrt(fs.weight / (2.0 * std::numbers::pi));
@@ -30,6 +30,151 @@ MatD sample_block(const DescriptorSystem& sys, const FrequencySample& fs) {
   MatD block = la::realify_columns(z);
   block *= std::sqrt(fs.weight / std::numbers::pi);
   return block;
+}
+
+// One sample's solve with the full degradation ladder: base solve, then
+// bounded retries at relatively perturbed shifts s·(1+εk), then one
+// diagonally regularized solve back at the original shift. `status` is OK
+// iff `block` is valid. Every attempt runs under a fault key derived from
+// the ORIGINAL shift, so injected decisions are a pure function of the
+// sample — a condemned sample stays condemned across retries (guaranteeing
+// deterministic drops), while genuine near-singularities recover via the
+// perturbed shifts.
+struct SampleOutcome {
+  MatD block;
+  util::Status status;
+  int retries = 0;
+  bool regularized = false;
+};
+
+SampleOutcome try_sample_block(const DescriptorSystem& sys, const FrequencySample& fs,
+                               const ResilienceOptions& res) {
+  PMTBR_TRACE_SCOPE("pmtbr.sample_block");
+  util::fault::KeyScope key(util::fault::shift_key(fs.s.real(), fs.s.imag()));
+  SampleOutcome out;
+  for (int attempt = 0; attempt <= res.max_retries; ++attempt) {
+    cd s = fs.s;
+    if (attempt > 0) {
+      const double scale = 1.0 + res.retry_shift_eps * static_cast<double>(attempt);
+      // A DC sample has nothing to scale; nudge it off the origin instead.
+      s = (s == cd(0.0)) ? cd(res.retry_shift_eps * static_cast<double>(attempt), 0.0)
+                         : s * scale;
+      ++out.retries;
+      obs::counter_add(obs::Counter::kPmtbrSampleRetries);
+    }
+    auto z = sys.try_solve_shifted(s, la::to_complex(sys.b()));
+    if (z.is_ok()) {
+      out.block = weight_block(z.value(), fs);
+      out.status = util::Status::ok();
+      return out;
+    }
+    out.status = z.status();
+  }
+  if (res.diag_reg > 0.0) {
+    auto z = sys.try_solve_shifted(fs.s, la::to_complex(sys.b()), res.diag_reg);
+    if (z.is_ok()) {
+      out.block = weight_block(z.value(), fs);
+      out.status = util::Status::ok();
+      out.regularized = true;
+      obs::counter_add(obs::Counter::kPmtbrSamplesRegularized);
+      return out;
+    }
+    out.status = z.status();
+  }
+  return out;
+}
+
+// Degradation bookkeeping threaded through the windowed sampling loop.
+struct DegradeState {
+  DegradeReport report;
+  double carried = 0.0;      // weight of windows that lost every sample
+  double attempted_w = 0.0;  // total quadrature weight attempted
+  double surviving_w = 0.0;  // total quadrature weight that produced a block
+};
+
+// Classifies one window's outcomes, records drops, and redistributes the
+// lost quadrature weight (plus any carried weight from wholly failed
+// earlier windows) over the window's survivors by scaling their blocks.
+// Returns the in-window indices of the survivors, in sample order. A clean
+// window with nothing carried is left bit-exact — no scaling is applied.
+std::vector<index> degrade_window(std::vector<util::Expected<SampleOutcome>>& outcomes,
+                                  const std::vector<FrequencySample>& eff, index base,
+                                  DegradeState& st) {
+  auto& r = st.report;
+  double window_weight = 0.0, surviving_weight = 0.0;
+  bool any_failed = false;
+  std::vector<index> ok;
+  ok.reserve(outcomes.size());
+  for (index k = 0; k < static_cast<index>(outcomes.size()); ++k) {
+    const FrequencySample& fs = eff[static_cast<std::size_t>(base + k)];
+    auto& slot = outcomes[static_cast<std::size_t>(k)];
+    ++r.samples_attempted;
+    window_weight += fs.weight;
+    // A task-level failure (pool.task injection, foreign exception) never
+    // ran the retry ladder; a solver-level failure carries its ladder stats
+    // inside the outcome.
+    const util::Status& status = slot.is_ok() ? slot.value().status : slot.status();
+    const int retries = slot.is_ok() ? slot.value().retries : 0;
+    r.retries += retries;
+    if (status.is_ok()) {
+      ++r.samples_ok;
+      if (slot.value().regularized) ++r.regularized;
+      surviving_weight += fs.weight;
+      ok.push_back(k);
+    } else {
+      any_failed = true;
+      ++r.samples_dropped;
+      obs::counter_add(obs::Counter::kPmtbrSamplesDropped);
+      r.failures.push_back({base + k, status, retries});
+      log_debug("pmtbr: dropped sample ", base + k, " (", status.to_string(), ")");
+    }
+  }
+  st.attempted_w += window_weight;
+  st.surviving_w += surviving_weight;
+  if (ok.empty()) {
+    st.carried += window_weight;
+    return ok;
+  }
+  if ((any_failed || st.carried > 0.0) && surviving_weight > 0.0) {
+    const double factor = (window_weight + st.carried) / surviving_weight;
+    st.carried = 0.0;
+    const double scale = std::sqrt(factor);
+    for (index k : ok) outcomes[static_cast<std::size_t>(k)].value().block *= scale;
+    ++r.reweights;
+    obs::counter_add(obs::Counter::kPmtbrWeightReweights);
+  }
+  return ok;
+}
+
+// Coverage floor: the run is only allowed to degrade so far. Throws when
+// every sample was lost or the surviving quadrature weight dropped below
+// the configured fraction of what was attempted.
+void enforce_coverage_floor(DegradeState& st, const ResilienceOptions& res) {
+  auto& r = st.report;
+  r.coverage = st.attempted_w > 0.0 ? st.surviving_w / st.attempted_w : 1.0;
+  if (r.samples_attempted == 0) return;
+  if (r.samples_ok == 0 || r.coverage < res.min_coverage) {
+    std::ostringstream msg;
+    msg << "surviving sample coverage " << r.coverage << " below floor " << res.min_coverage
+        << " (" << r.samples_dropped << " of " << r.samples_attempted << " samples dropped)";
+    throw util::StatusError(util::Status(util::ErrorCode::kCoverageFloor, msg.str()));
+  }
+}
+
+// Freezes the pencil's pivot order from the first sample whose pencil
+// actually factors, skipping shifts that sit on a pole (or are condemned
+// by fault injection). Throws kCoverageFloor when no sample works at all.
+void prepare_resilient(const DescriptorSystem& sys, const std::vector<FrequencySample>& eff) {
+  util::Status last;
+  for (const FrequencySample& fs : eff) {
+    util::fault::KeyScope key(util::fault::shift_key(fs.s.real(), fs.s.imag()));
+    util::Status st = sys.try_prepare_shifted(fs.s);
+    if (st.is_ok()) return;
+    last = std::move(st);
+  }
+  throw util::StatusError(util::Status(
+      util::ErrorCode::kCoverageFloor,
+      "no sample shift yields a factorable pencil: " + last.to_string()));
 }
 
 index choose_order(const IncrementalCompressor& comp, const PmtbrOptions& opts) {
@@ -60,6 +205,41 @@ std::vector<FrequencySample> effective_samples(const std::vector<FrequencySample
 
 }  // namespace
 
+std::pair<std::string, std::string> degradation_extra(const DegradeReport& report) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("samples_attempted");
+  w.value(static_cast<std::int64_t>(report.samples_attempted));
+  w.key("samples_ok");
+  w.value(static_cast<std::int64_t>(report.samples_ok));
+  w.key("samples_dropped");
+  w.value(static_cast<std::int64_t>(report.samples_dropped));
+  w.key("retries");
+  w.value(static_cast<std::int64_t>(report.retries));
+  w.key("regularized");
+  w.value(static_cast<std::int64_t>(report.regularized));
+  w.key("reweights");
+  w.value(static_cast<std::int64_t>(report.reweights));
+  w.key("coverage");
+  w.value(report.coverage);
+  w.key("failures");
+  w.begin_array();
+  for (const SampleFailure& f : report.failures) {
+    w.begin_object();
+    w.key("sample");
+    w.value(static_cast<std::int64_t>(f.sample));
+    w.key("code");
+    w.value(util::error_code_name(f.status.code()));
+    w.key("retries");
+    w.value(f.retries);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return {"degradation", os.str()};
+}
+
 PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
                                const std::vector<FrequencySample>& samples,
                                const PmtbrOptions& opts) {
@@ -67,13 +247,15 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
   PMTBR_TRACE_SCOPE("pmtbr");
   IncrementalCompressor comp(sys.n());
   PmtbrResult out;
+  DegradeState st;
 
   const std::vector<FrequencySample> eff = effective_samples(samples, opts);
   if (!eff.empty()) {
     // Freeze the pencil's pivot order before fanning out so every thread
     // refactors against the same symbolic analysis — results are then
-    // bit-identical to a serial run regardless of scheduling.
-    sys.prepare_shifted(eff.front().s);
+    // bit-identical to a serial run regardless of scheduling. The first
+    // factorable sample seeds the ordering (shifts on a pole are skipped).
+    prepare_resilient(sys, eff);
 
     // Sample solves run on the pool in windows; absorption (and with it
     // the adaptive stopping decision) is committed strictly in sample
@@ -86,10 +268,12 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
     bool stopped = false;
     for (index base = 0; base < total && !stopped; base += window) {
       const index count = std::min<index>(window, total - base);
-      const auto blocks = util::parallel_map<MatD>(
-          count, [&](index i) { return sample_block(sys, eff[static_cast<std::size_t>(base + i)]); });
-      for (index k = 0; k < count; ++k) {
-        comp.add_columns(blocks[static_cast<std::size_t>(k)]);
+      auto outcomes = util::parallel_try_map<SampleOutcome>(count, [&](index i) {
+        return try_sample_block(sys, eff[static_cast<std::size_t>(base + i)], opts.resilience);
+      });
+      const std::vector<index> survivors = degrade_window(outcomes, eff, base, st);
+      for (index k : survivors) {
+        comp.add_columns(outcomes[static_cast<std::size_t>(k)].value().block);
         obs::counter_add(obs::Counter::kPmtbrSamples);
         out.samples_used.push_back(eff[static_cast<std::size_t>(base + k)]);
 
@@ -109,7 +293,9 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
         }
       }
     }
+    enforce_coverage_floor(st, opts.resilience);
   }
+  out.degradation = std::move(st.report);
 
   const index order = choose_order(comp, opts);
   MatD v = comp.basis(order);
@@ -132,6 +318,7 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
 
   IncrementalCompressor comp(sys.n());
   PmtbrResult out;
+  DegradeState st;
 
   // Novelty of a sample: residual norm of its block after projection onto
   // the basis as it stood before the block — reported directly by the
@@ -146,9 +333,24 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
 
   const auto absorb = [&](double f_hz, double width_hz) {
     FrequencySample fs{cd(0.0, 2.0 * std::numbers::pi * f_hz), 2.0 * std::numbers::pi * width_hz};
-    MatD block = sample_block(sys, fs);
-    max_block_norm = std::max(max_block_norm, la::norm_fro(block));
-    const double res = comp.add_columns(block);
+    ++st.report.samples_attempted;
+    st.attempted_w += fs.weight;
+    SampleOutcome oc = try_sample_block(sys, fs, opts.resilience);
+    st.report.retries += oc.retries;
+    if (!oc.status.is_ok()) {
+      // A dropped sample contributes zero novelty, so its interval is not
+      // bisected further; the density-based weights need no redistribution.
+      ++st.report.samples_dropped;
+      obs::counter_add(obs::Counter::kPmtbrSamplesDropped);
+      st.report.failures.push_back({st.report.samples_attempted - 1, oc.status, oc.retries});
+      log_debug("pmtbr_adaptive: dropped sample at ", f_hz, " Hz (", oc.status.to_string(), ")");
+      return 0.0;
+    }
+    ++st.report.samples_ok;
+    if (oc.regularized) ++st.report.regularized;
+    st.surviving_w += fs.weight;
+    max_block_norm = std::max(max_block_norm, la::norm_fro(oc.block));
+    const double res = comp.add_columns(oc.block);
     obs::counter_add(obs::Counter::kPmtbrSamples);
     out.samples_used.push_back(fs);
     return res;
@@ -184,6 +386,9 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
               res2);
   }
 
+  enforce_coverage_floor(st, opts.resilience);
+  out.degradation = std::move(st.report);
+
   const index order = choose_order(comp, opts);
   MatD v = comp.basis(order);
   out.model.v = v;
@@ -201,20 +406,29 @@ std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
   PMTBR_REQUIRE(!orders.empty(), "need at least one order");
   PMTBR_TRACE_SCOPE("pmtbr_order_sweep");
   IncrementalCompressor comp(sys.n());
-  sys.prepare_shifted(samples.front().s);
-  const auto blocks = util::parallel_map<MatD>(
-      static_cast<index>(samples.size()),
-      [&](index i) { return sample_block(sys, samples[static_cast<std::size_t>(i)]); });
-  for (const auto& block : blocks) {
-    comp.add_columns(block);
+  const ResilienceOptions resilience{};
+  DegradeState st;
+  prepare_resilient(sys, samples);
+  auto outcomes = util::parallel_try_map<SampleOutcome>(
+      static_cast<index>(samples.size()), [&](index i) {
+        return try_sample_block(sys, samples[static_cast<std::size_t>(i)], resilience);
+      });
+  const std::vector<index> survivors = degrade_window(outcomes, samples, 0, st);
+  std::vector<FrequencySample> used;
+  used.reserve(survivors.size());
+  for (index k : survivors) {
+    comp.add_columns(outcomes[static_cast<std::size_t>(k)].value().block);
     obs::counter_add(obs::Counter::kPmtbrSamples);
+    used.push_back(samples[static_cast<std::size_t>(k)]);
   }
+  enforce_coverage_floor(st, resilience);
 
   std::vector<PmtbrResult> out;
   out.reserve(orders.size());
   for (const index order : orders) {
     PmtbrResult res;
-    res.samples_used = samples;
+    res.samples_used = used;
+    res.degradation = st.report;
     const index q = std::max<index>(1, std::min<index>(order, comp.rank()));
     MatD v = comp.basis(q);
     res.model.v = v;

@@ -12,12 +12,58 @@
 #pragma once
 
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "mor/sampling.hpp"
 #include "mor/state_space.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::mor {
+
+/// Per-sample degradation policy (docs/ROBUSTNESS.md). PMTBR's statistical
+/// interpretation tolerates losing individual quadrature samples, so a
+/// failed shifted solve is retried, regularized, and finally dropped with
+/// its weight redistributed — the run only fails when surviving coverage
+/// falls below `min_coverage`.
+struct ResilienceOptions {
+  /// Retries per failed sample at relatively perturbed shifts s·(1+εk).
+  int max_retries = 2;
+  /// Relative shift perturbation ε per retry step.
+  double retry_shift_eps = 1e-6;
+  /// Relative diagonal regularization for the last-resort fallback solve at
+  /// the original shift (0 disables the fallback).
+  double diag_reg = 1e-8;
+  /// Minimum surviving fraction of attempted quadrature weight; below this
+  /// the run throws util::StatusError(kCoverageFloor).
+  double min_coverage = 0.5;
+};
+
+/// What graceful degradation actually did during a run — mirrored into the
+/// pmtbr-manifest/1 "degradation" extra (degradation_extra()).
+struct SampleFailure {
+  index sample = -1;      // index into the effective sample list
+  util::Status status;    // final status after retries + regularization
+  int retries = 0;        // perturbed-shift attempts made for this sample
+};
+
+struct DegradeReport {
+  index samples_attempted = 0;
+  index samples_ok = 0;
+  index samples_dropped = 0;
+  index retries = 0;      // total perturbed-shift retry attempts
+  index regularized = 0;  // samples rescued by diagonal regularization
+  index reweights = 0;    // windows that redistributed dropped weight
+  double coverage = 1.0;  // surviving / attempted quadrature weight
+  std::vector<SampleFailure> failures;
+
+  bool degraded() const { return samples_dropped > 0 || retries > 0 || regularized > 0; }
+};
+
+/// ("degradation", <json>) entry for obs::ManifestExtras, so benches and
+/// tests can surface degraded runs in MANIFEST_*.json.
+std::pair<std::string, std::string> degradation_extra(const DegradeReport& report);
 
 struct PmtbrOptions {
   /// Frequency band(s) of interest. One band = plain PMTBR over a finite
@@ -43,6 +89,9 @@ struct PmtbrOptions {
   /// retained directions — toward frequencies where w is large. The
   /// identity weighting reproduces the finite-bandwidth Gramian.
   std::function<double(double f_hz)> weight_fn;
+
+  /// Per-sample failure handling (retry / regularize / drop / floor).
+  ResilienceOptions resilience;
 };
 
 struct PmtbrResult {
@@ -51,6 +100,8 @@ struct PmtbrResult {
   /// Estimated Hankel singular values: squares of the ZW singular values
   /// (with the 1/2π Parseval factor folded into the weights).
   std::vector<double> hankel_estimates;
+  /// Per-sample outcomes: retries, regularizations, drops, reweights.
+  DegradeReport degradation;
 };
 
 /// PMTBR with automatically generated samples per `opts`.

@@ -2,9 +2,13 @@
 
 #include <cmath>
 #include <numbers>
+#include <stdexcept>
 
+#include "util/faultinject.hpp"
+#include "util/logging.hpp"
 #include "util/obs/counters.hpp"
 #include "util/obs/trace.hpp"
+#include "util/status.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr::signal {
@@ -12,13 +16,63 @@ namespace pmtbr::signal {
 namespace {
 constexpr double kTwoPi = 2.0 * std::numbers::pi;
 
+// Per-point degradation policy: a failed transfer evaluation is retried at
+// relatively perturbed frequencies f·(1+εk) before the point is dropped
+// from the sweep (docs/ROBUSTNESS.md).
+constexpr int kAcMaxRetries = 2;
+constexpr double kAcRetryEps = 1e-6;
+
 // Hook for warming per-system caches before the parallel fan-out: sparse
 // descriptor systems freeze their shifted-pencil pivot order here so every
-// pool thread refactors deterministically; dense models need nothing.
-void warm(const DescriptorSystem& sys, double f_hz) {
-  sys.prepare_shifted(la::cd(0.0, kTwoPi * f_hz));
+// pool thread refactors deterministically; dense models need nothing. The
+// first preparable grid point seeds the ordering — if none works the
+// per-point evaluations fail individually and the sweep degrades to empty.
+void warm(const DescriptorSystem& sys, const std::vector<double>& freqs) {
+  for (const double f : freqs) {
+    util::fault::KeyScope key(util::fault::shift_key(0.0, kTwoPi * f));
+    if (sys.try_prepare_shifted(la::cd(0.0, kTwoPi * f)).is_ok()) return;
+  }
 }
-void warm(const mor::DenseSystem&, double) {}
+void warm(const mor::DenseSystem&, const std::vector<double>&) {}
+
+util::Expected<la::cd> eval(const DescriptorSystem& sys, la::cd s, la::index out_idx,
+                            la::index in_idx) {
+  auto h = sys.try_transfer(s);
+  if (!h.is_ok()) return h.status();
+  return h.value()(out_idx, in_idx);
+}
+
+util::Expected<la::cd> eval(const mor::DenseSystem& sys, la::cd s, la::index out_idx,
+                            la::index in_idx) {
+  try {
+    return sys.transfer(s)(out_idx, in_idx);
+  } catch (const util::StatusError& e) {  // dense pencil exactly singular
+    return e.status();
+  }
+}
+
+// One grid point with its retry ladder. All attempts run under a fault key
+// derived from the ORIGINAL frequency, so injected decisions condemn the
+// point deterministically while genuine pole hits recover via the
+// perturbed re-evaluations.
+template <typename System>
+util::Expected<AcPoint> try_ac_point(const System& sys, double f, la::index out_idx,
+                                     la::index in_idx) {
+  util::fault::KeyScope key(util::fault::shift_key(0.0, kTwoPi * f));
+  util::Status last;
+  for (int attempt = 0; attempt <= kAcMaxRetries; ++attempt) {
+    double fk = f;
+    if (attempt > 0) {
+      const double eps = kAcRetryEps * static_cast<double>(attempt);
+      fk = (f == 0.0) ? eps : f * (1.0 + eps);
+      obs::counter_add(obs::Counter::kAcPointRetries);
+    }
+    auto h = eval(sys, la::cd(0.0, kTwoPi * fk), out_idx, in_idx);
+    if (h.is_ok()) return AcPoint{f, std::abs(h.value()), std::arg(h.value())};
+    last = h.status();
+  }
+  return last;
+}
 
 template <typename System>
 std::vector<AcPoint> sweep_impl(const System& sys, const std::vector<double>& freqs,
@@ -28,14 +82,26 @@ std::vector<AcPoint> sweep_impl(const System& sys, const std::vector<double>& fr
   if (freqs.empty()) return {};
   PMTBR_TRACE_SCOPE("ac.sweep");
   obs::counter_add(obs::Counter::kAcSweepPoints, static_cast<std::int64_t>(freqs.size()));
-  warm(sys, freqs.front());
-  // Every grid point is an independent shifted solve; fan them out and
-  // store each result at its own index.
-  return util::parallel_map<AcPoint>(static_cast<la::index>(freqs.size()), [&](la::index k) {
-    const double f = freqs[static_cast<std::size_t>(k)];
-    const la::cd h = sys.transfer(la::cd(0.0, kTwoPi * f))(out_idx, in_idx);
-    return AcPoint{f, std::abs(h), std::arg(h)};
-  });
+  warm(sys, freqs);
+  // Every grid point is an independent shifted solve; fan them out into
+  // per-point outcome slots so one failed point cannot poison the rest,
+  // then keep the survivors in grid order.
+  auto outcomes =
+      util::parallel_try_map<AcPoint>(static_cast<la::index>(freqs.size()), [&](la::index k) {
+        return try_ac_point(sys, freqs[static_cast<std::size_t>(k)], out_idx, in_idx);
+      });
+  std::vector<AcPoint> out;
+  out.reserve(outcomes.size());
+  for (std::size_t k = 0; k < outcomes.size(); ++k) {
+    if (outcomes[k].is_ok()) {
+      out.push_back(outcomes[k].value());
+    } else {
+      obs::counter_add(obs::Counter::kAcPointsDropped);
+      log_debug("ac_sweep: dropped point at ", freqs[k], " Hz (",
+                outcomes[k].status().to_string(), ")");
+    }
+  }
+  return out;
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "util/faultinject.hpp"
 #include "util/obs/counters.hpp"
 #include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -61,10 +62,6 @@ Csc<T> to_permuted_csc(const Csr<T>& a, const std::vector<index>& q) {
 
 constexpr double kPivotThreshold = 1e-3;  // prefer the diagonal when viable
 
-// Acceptance floor for replaying a frozen pivot order on new values: reject
-// only truly degenerate pivots and let the caller full-factor instead.
-constexpr double kRefactorPivotTol = 1e-10;
-
 std::vector<index> identity_perm(index n) {
   std::vector<index> q(static_cast<std::size_t>(n));
   std::iota(q.begin(), q.end(), index{0});
@@ -75,6 +72,13 @@ std::vector<index> identity_perm(index n) {
 
 template <typename T>
 SparseLu<T>::SparseLu(const Csr<T>& a, std::vector<index> perm) {
+  auto lu = factor(a, std::move(perm));
+  if (!lu.is_ok()) throw util::StatusError(lu.status());
+  *this = std::move(lu).value();
+}
+
+template <typename T>
+util::Expected<SparseLu<T>> SparseLu<T>::factor(const Csr<T>& a, std::vector<index> perm) {
   PMTBR_REQUIRE(a.rows() == a.cols(), "sparse LU requires a square matrix");
   PMTBR_CHECK_FINITE(a, "sparse LU input matrix");
   auto pattern = std::make_shared<detail::LuPattern<T>>();
@@ -85,8 +89,11 @@ SparseLu<T>::SparseLu(const Csr<T>& a, std::vector<index> perm) {
     PMTBR_REQUIRE(static_cast<index>(perm.size()) == a.rows(), "perm length mismatch");
     pattern->q = std::move(perm);
   }
-  factor(a, *pattern);
-  pattern_ = std::move(pattern);
+  SparseLu<T> lu;
+  util::Status st = lu.factor(a, *pattern);
+  if (!st.is_ok()) return std::move(st);
+  lu.pattern_ = std::move(pattern);
+  return lu;
 }
 
 template <typename T>
@@ -104,6 +111,14 @@ SymbolicLu<T> SparseLu<T>::symbolic() const {
 template <typename T>
 std::optional<SparseLu<T>> SparseLu<T>::try_refactor(const SymbolicLu<T>& symbolic,
                                                      const Csr<T>& a) {
+  auto lu = refactor(symbolic, a);
+  if (!lu.is_ok()) return std::nullopt;
+  return std::move(lu).value();
+}
+
+template <typename T>
+util::Expected<SparseLu<T>> SparseLu<T>::refactor(const SymbolicLu<T>& symbolic, const Csr<T>& a,
+                                                  const SolveOptions& opts) {
   PMTBR_REQUIRE(a.rows() == a.cols() && a.rows() == symbolic.n(),
                 "refactor matrix size mismatch");
   PMTBR_REQUIRE(a.nnz() == symbolic.pattern_->a_nnz, "refactor matrix pattern mismatch");
@@ -111,18 +126,21 @@ std::optional<SparseLu<T>> SparseLu<T>::try_refactor(const SymbolicLu<T>& symbol
   PMTBR_TRACE_SCOPE("splu.refactor");
   SparseLu<T> lu;
   lu.pattern_ = symbolic.pattern_;
-  if (!lu.refactor(a)) {
+  util::Status st = lu.refactor(a, opts);
+  if (!st.is_ok()) {
     obs::counter_add(obs::Counter::kSparseLuRefactorReject);
-    return std::nullopt;
+    return std::move(st);
   }
   obs::counter_add(obs::Counter::kSparseLuRefactor);
   return lu;
 }
 
 template <typename T>
-void SparseLu<T>::factor(const Csr<T>& a, detail::LuPattern<T>& pat) {
+util::Status SparseLu<T>::factor(const Csr<T>& a, detail::LuPattern<T>& pat) {
   PMTBR_TRACE_SCOPE("splu.full_factor");
   obs::counter_add(obs::Counter::kSparseLuFullFactor);
+  if (util::fault::should_fail(util::fault::Site::kSpluPivot))
+    return util::Status(util::ErrorCode::kInjectedFault, "splu.pivot fault injected");
   const Csc<T> ap = to_permuted_csc(a, pat.q);
   const index n = pat.n;
 
@@ -207,7 +225,10 @@ void SparseLu<T>::factor(const Csr<T>& a, detail::LuPattern<T>& pat) {
         pivot = v;
       }
     }
-    PMTBR_ENSURE(pivot >= 0 && best > 0, "structurally or numerically singular matrix");
+    if (!(pivot >= 0 && best > 0))
+      return util::Status(util::ErrorCode::kSingularMatrix,
+                          "structurally or numerically singular matrix")
+          .with_detail(j, best);
     if (diag_mag >= kPivotThreshold * best) pivot = j;
 
     pat.pinv[static_cast<std::size_t>(pivot)] = j;
@@ -248,10 +269,13 @@ void SparseLu<T>::factor(const Csr<T>& a, detail::LuPattern<T>& pat) {
   pat.a_slot = ap.slot;
   for (std::size_t t = 0; t < a.nnz(); ++t)
     pat.a_pos[t] = pat.pinv[static_cast<std::size_t>(ap.row[t])];
+  return {};
 }
 
 template <typename T>
-bool SparseLu<T>::refactor(const Csr<T>& a) {
+util::Status SparseLu<T>::refactor(const Csr<T>& a, const SolveOptions& opts) {
+  if (util::fault::should_fail(util::fault::Site::kSpluRefactor))
+    return util::Status(util::ErrorCode::kInjectedFault, "splu.refactor fault injected");
   const auto& pat = *pattern_;
   const index n = pat.n;
   const auto& vals = a.values();
@@ -293,7 +317,10 @@ bool SparseLu<T>::refactor(const Csr<T>& a) {
       best = std::max(best,
                       std::abs(la::cd(x[static_cast<std::size_t>(
                           pat.l_row[static_cast<std::size_t>(p)])])));
-    if (!(piv_mag > 0) || piv_mag < kRefactorPivotTol * best) return false;
+    if (!(piv_mag > 0) || piv_mag < opts.refactor_pivot_tol * best)
+      return util::Status(util::ErrorCode::kDegeneratePivot,
+                          "frozen pivot order numerically inadequate for these values")
+          .with_detail(j, piv_mag);
     u_diag_[static_cast<std::size_t>(j)] = piv;
 
     for (index p = pat.l_ptr[static_cast<std::size_t>(j)];
@@ -307,7 +334,7 @@ bool SparseLu<T>::refactor(const Csr<T>& a) {
       x[static_cast<std::size_t>(pat.u_row[static_cast<std::size_t>(t)])] = T{};
     x[static_cast<std::size_t>(j)] = T{};
   }
-  return true;
+  return {};
 }
 
 template <typename T>

@@ -17,8 +17,21 @@
 
 #include "la/matrix.hpp"
 #include "sparse/csr.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::sparse {
+
+/// Tunables for the numeric factorization phases.
+struct SolveOptions {
+  /// Acceptance floor for replaying a frozen pivot order on new values: a
+  /// frozen pivot whose magnitude falls below `refactor_pivot_tol` times
+  /// the best candidate a fresh factorization could have picked for that
+  /// column is rejected as degenerate (kDegeneratePivot, detail = pivot
+  /// position + magnitude) and the caller should full-factor instead.
+  /// The default keeps the historical hard-coded value; raise it to trade
+  /// replay speed for pivot quality, lower it to accept shakier replays.
+  double refactor_pivot_tol = 1e-10;
+};
 
 namespace detail {
 
@@ -78,7 +91,15 @@ class SparseLu {
   /// Factors A (square) from scratch. If `perm` is nonempty it is applied
   /// symmetrically (rows and columns) before factorization; partial
   /// pivoting still permutes rows within the factorization for stability.
+  /// Throws util::StatusError on a singular matrix — prefer factor() where
+  /// singularity is an expected, recoverable event (e.g. a quadrature shift
+  /// landing on a pole).
   explicit SparseLu(const Csr<T>& a, std::vector<index> perm = {});
+
+  /// Non-throwing full factorization: kSingularMatrix (detail = failing
+  /// column + best candidate magnitude) when no viable pivot exists,
+  /// kInjectedFault under the splu.pivot injection site.
+  static util::Expected<SparseLu> factor(const Csr<T>& a, std::vector<index> perm = {});
 
   /// Numeric-only refactorization of `a` against a frozen symbolic
   /// analysis. `a` must have the same CSR layout (row_ptr/col_idx) as the
@@ -88,6 +109,13 @@ class SparseLu {
   /// The replay is deterministic: identical inputs give bit-identical
   /// factors on every thread.
   static std::optional<SparseLu> try_refactor(const SymbolicLu<T>& symbolic, const Csr<T>& a);
+
+  /// Status-carrying replay: kDegeneratePivot (detail = pivot position +
+  /// magnitude) when the frozen pivot falls below opts.refactor_pivot_tol
+  /// relative to the column's best candidate, kInjectedFault under the
+  /// splu.refactor injection site.
+  static util::Expected<SparseLu> refactor(const SymbolicLu<T>& symbolic, const Csr<T>& a,
+                                           const SolveOptions& opts = {});
 
   index n() const { return pattern_->n; }
   std::size_t nnz_factors() const { return l_val_.size() + u_val_.size(); }
@@ -113,8 +141,8 @@ class SparseLu {
  private:
   friend class SymbolicLu<T>;
   SparseLu() = default;
-  void factor(const Csr<T>& a, detail::LuPattern<T>& pat);
-  bool refactor(const Csr<T>& a);
+  util::Status factor(const Csr<T>& a, detail::LuPattern<T>& pat);
+  util::Status refactor(const Csr<T>& a, const SolveOptions& opts);
 
   std::shared_ptr<const detail::LuPattern<T>> pattern_;
   std::vector<T> l_val_;

@@ -32,6 +32,13 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kCompressorColumnsKept: return "compressor_columns_kept";
     case Counter::kCompressorColumnsDropped: return "compressor_columns_dropped";
     case Counter::kAcSweepPoints: return "ac_sweep_points";
+    case Counter::kFaultsInjected: return "faults_injected";
+    case Counter::kPmtbrSampleRetries: return "pmtbr_sample_retries";
+    case Counter::kPmtbrSamplesDropped: return "pmtbr_samples_dropped";
+    case Counter::kPmtbrSamplesRegularized: return "pmtbr_samples_regularized";
+    case Counter::kPmtbrWeightReweights: return "pmtbr_weight_reweights";
+    case Counter::kAcPointRetries: return "ac_point_retries";
+    case Counter::kAcPointsDropped: return "ac_points_dropped";
     case Counter::kCount: break;
   }
   return "unknown";

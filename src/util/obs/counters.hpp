@@ -53,6 +53,15 @@ enum class Counter : int {
   kCompressorColumnsDropped, // columns dropped as numerically dependent
   // AC verification layer (src/signal/ac.cpp)
   kAcSweepPoints,
+  // fault injection + graceful degradation (util/faultinject, mor/pmtbr,
+  // signal/ac — see docs/ROBUSTNESS.md)
+  kFaultsInjected,          // deterministic injections that actually fired
+  kPmtbrSampleRetries,      // shifted-solve retries at perturbed shifts
+  kPmtbrSamplesDropped,     // samples abandoned after retries + regularization
+  kPmtbrSamplesRegularized, // samples rescued by the diagonal-regularization fallback
+  kPmtbrWeightReweights,    // windows whose surviving samples absorbed dropped weight
+  kAcPointRetries,          // AC sweep points retried at a perturbed frequency
+  kAcPointsDropped,         // AC sweep points dropped from the response
 
   kCount  // sentinel; keep last
 };

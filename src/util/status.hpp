@@ -1,0 +1,158 @@
+// Error taxonomy for the fallible numeric kernels: a lightweight Status /
+// Expected<T> pair threaded through sparse LU, the shifted descriptor
+// solves, and the la convergence paths.
+//
+// Policy (docs/ROBUSTNESS.md): exceptions remain reserved for programmer
+// errors — contract violations (PMTBR_REQUIRE) and broken internal
+// invariants. Everything the *data* can cause (a quadrature shift landing
+// on a pole, a degenerate frozen pivot, non-convergence on a pathological
+// spectrum, an injected test fault) is an expected, recoverable event and
+// travels as a [[nodiscard]] Status so callers must either handle it or
+// explicitly convert it back into an exception (value(), or StatusError).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace pmtbr::util {
+
+/// What went wrong, machine-readably. Names are stable (they appear in
+/// logs, manifests and tests); extend at the end, before kCount.
+enum class ErrorCode : int {
+  kOk = 0,
+  kSingularMatrix,       // structurally or numerically singular factorization
+  kDegeneratePivot,      // frozen pivot order inadequate for these values
+  kNonFinite,            // NaN/Inf encountered in a result
+  kNoConvergence,        // iteration budget exhausted
+  kInjectedFault,        // deterministic fault injection fired (tests/CI)
+  kCoverageFloor,        // surviving-sample quadrature coverage below floor
+  kCancelled,            // task never ran (sibling outcome slots)
+  kUnhandledException,   // foreign exception captured at a task boundary
+  kCount                 // sentinel; keep last
+};
+
+/// Stable snake_case name ("singular_matrix", ...).
+constexpr const char* error_code_name(ErrorCode c) noexcept {
+  switch (c) {
+    case ErrorCode::kOk: return "ok";
+    case ErrorCode::kSingularMatrix: return "singular_matrix";
+    case ErrorCode::kDegeneratePivot: return "degenerate_pivot";
+    case ErrorCode::kNonFinite: return "non_finite";
+    case ErrorCode::kNoConvergence: return "no_convergence";
+    case ErrorCode::kInjectedFault: return "injected_fault";
+    case ErrorCode::kCoverageFloor: return "coverage_floor";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kUnhandledException: return "unhandled_exception";
+    case ErrorCode::kCount: break;
+  }
+  return "unknown";
+}
+
+/// Success-or-error result. Default-constructed Status is OK; error
+/// statuses carry a code, a human message, and an optional numeric detail
+/// payload (e.g. kDegeneratePivot records the pivot position and its
+/// magnitude).
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    PMTBR_REQUIRE(code != ErrorCode::kOk && code != ErrorCode::kCount,
+                  "error Status needs a real error code");
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+  ErrorCode code() const noexcept { return code_; }
+  const std::string& message() const noexcept { return message_; }
+
+  /// Attaches a numeric detail (index + magnitude) to an error status.
+  Status&& with_detail(std::ptrdiff_t idx, double value) && {
+    detail_index_ = idx;
+    detail_value_ = value;
+    return std::move(*this);
+  }
+  /// Detail index (pivot position, sample index, ...); -1 when unset.
+  std::ptrdiff_t detail_index() const noexcept { return detail_index_; }
+  /// Detail magnitude (pivot magnitude, residual, ...); 0 when unset.
+  double detail_value() const noexcept { return detail_value_; }
+
+  /// "degenerate_pivot: <message>" — for logs and exception texts.
+  std::string to_string() const {
+    if (is_ok()) return "ok";
+    std::string s = error_code_name(code_);
+    if (!message_.empty()) {
+      s += ": ";
+      s += message_;
+    }
+    return s;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+  std::ptrdiff_t detail_index_ = -1;
+  double detail_value_ = 0.0;
+};
+
+/// Thrown when a caller converts an error Status back into an exception
+/// (legacy throw-on-failure entry points do this). Derives from
+/// std::runtime_error so existing catch sites and death tests still match.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+  const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Value-or-Status. Default-constructed Expected is the kCancelled error —
+/// that makes vector<Expected<T>> outcome slots meaningful for tasks that
+/// never ran (see util::parallel_try_map).
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected() : status_(ErrorCode::kCancelled, "task never ran") {}
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT: implicit by design
+    PMTBR_REQUIRE(!status_.is_ok(), "Expected error requires a non-OK status");
+  }
+
+  bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  /// OK on success; the carried error otherwise.
+  const Status& status() const noexcept { return status_; }
+
+  /// The value; throws StatusError when holding an error.
+  T& value() & {
+    if (!is_ok()) throw StatusError(status_);
+    return *value_;
+  }
+  const T& value() const& {
+    if (!is_ok()) throw StatusError(status_);
+    return *value_;
+  }
+  T&& value() && {
+    if (!is_ok()) throw StatusError(status_);
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds
+};
+
+}  // namespace pmtbr::util

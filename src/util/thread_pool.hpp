@@ -23,7 +23,9 @@
 #include <vector>
 
 #include "util/annotations.hpp"
+#include "util/faultinject.hpp"
 #include "util/mutex.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::util {
 
@@ -85,6 +87,35 @@ std::vector<R> parallel_map(index n, F&& fn) {
   std::vector<R> out(static_cast<std::size_t>(n));
   global_pool().parallel_for(0, n,
                              [&](index i) { out[static_cast<std::size_t>(i)] = fn(i); });
+  return out;
+}
+
+/// Fault-isolating map: like parallel_map, but each task's outcome lands in
+/// its own Expected slot, so one failing task cannot poison its siblings —
+/// every index still runs (contrast with parallel_for's abort-on-first-
+/// exception semantics, kept for the legacy all-or-nothing path).
+///
+/// fn may return R or Expected<R>. A StatusError escaping fn becomes that
+/// task's Status; any other exception becomes kUnhandledException. The
+/// Site::kPoolTask injection point can condemn a task before fn runs
+/// (keyed by the task index).
+template <typename R, typename F>
+std::vector<Expected<R>> parallel_try_map(index n, F&& fn) {
+  std::vector<Expected<R>> out(static_cast<std::size_t>(n));
+  global_pool().parallel_for(0, n, [&](index i) {
+    auto& slot = out[static_cast<std::size_t>(i)];
+    if (fault::should_fail(fault::Site::kPoolTask, static_cast<std::uint64_t>(i))) {
+      slot = Status(ErrorCode::kInjectedFault, "pool.task fault injected");
+      return;
+    }
+    try {
+      slot = fn(i);
+    } catch (const StatusError& e) {
+      slot = e.status();
+    } catch (const std::exception& e) {
+      slot = Status(ErrorCode::kUnhandledException, e.what());
+    }
+  });
   return out;
 }
 

@@ -10,6 +10,8 @@
 
 #include "sparse/csr.hpp"
 #include "sparse/splu.hpp"
+#include "util/faultinject.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::sparse {
 namespace {
@@ -83,6 +85,87 @@ TEST(SpluContract, WellPosedSystemStillSolves) {
   const std::vector<double> b{1.0, 2.0, 3.0, 4.0};
   const auto x = lu.solve(b);
   for (std::size_t i = 0; i < b.size(); ++i) EXPECT_DOUBLE_EQ(x[i], b[i]);
+}
+
+CsrD dense2x2(double a00, double a01, double a10, double a11) {
+  Triplets<double> t(2, 2);
+  t.add(0, 0, a00);
+  t.add(0, 1, a01);
+  t.add(1, 0, a10);
+  t.add(1, 1, a11);
+  return CsrD(t);
+}
+
+TEST(SpluStatus, FactorReportsSingularityWithDetail) {
+  Triplets<double> t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(0, 1, 2.0);
+  t.add(1, 0, 1.0);
+  t.add(1, 1, 2.0);
+  const auto lu = SparseLuD::factor(CsrD(t));
+  ASSERT_FALSE(lu.is_ok());
+  EXPECT_EQ(lu.status().code(), util::ErrorCode::kSingularMatrix);
+  EXPECT_EQ(lu.status().detail_index(), 1);  // elimination dies in column 1
+}
+
+TEST(SpluStatus, RefactorRejectsDegenerateFrozenPivotWithDetail) {
+  // Representative prefers the diagonal pivot in column 0; the replayed
+  // values make that frozen pivot 16 orders below the column's best
+  // candidate — far under the default refactor_pivot_tol of 1e-10.
+  const auto base = SparseLuD::factor(dense2x2(1.0, 2.0, 3.0, 4.0));
+  ASSERT_TRUE(base.is_ok());
+  const SymbolicLuD symbolic = base.value().symbolic();
+
+  const CsrD shaky = dense2x2(1e-16, 1.0, 1.0, 1.0);
+  const auto replay = SparseLuD::refactor(symbolic, shaky);
+  ASSERT_FALSE(replay.is_ok());
+  EXPECT_EQ(replay.status().code(), util::ErrorCode::kDegeneratePivot);
+  EXPECT_EQ(replay.status().detail_index(), 0);  // the degenerate pivot position
+  EXPECT_NEAR(replay.status().detail_value(), 1e-16, 1e-18);
+  // The optional-based legacy entry point agrees.
+  EXPECT_FALSE(SparseLuD::try_refactor(symbolic, shaky).has_value());
+}
+
+TEST(SpluStatus, RefactorPivotTolIsAnHonestKnob) {
+  const auto base = SparseLuD::factor(dense2x2(1.0, 2.0, 3.0, 4.0));
+  ASSERT_TRUE(base.is_ok());
+  const SymbolicLuD symbolic = base.value().symbolic();
+
+  // tol = 0 accepts even the degenerate replay (caller opted out) and the
+  // factors still solve the system they were given.
+  const CsrD shaky = dense2x2(1e-16, 1.0, 1.0, 1.0);
+  SolveOptions accept_all;
+  accept_all.refactor_pivot_tol = 0.0;
+  const auto forced = SparseLuD::refactor(symbolic, shaky, accept_all);
+  ASSERT_TRUE(forced.is_ok());
+
+  // tol = 1 rejects a replay whose frozen pivot is merely 2x below the best
+  // candidate; the default accepts it.
+  const CsrD mild = dense2x2(0.5, 1.0, 1.0, 1.0);
+  SolveOptions strict;
+  strict.refactor_pivot_tol = 1.0;
+  EXPECT_FALSE(SparseLuD::refactor(symbolic, mild, strict).is_ok());
+  EXPECT_TRUE(SparseLuD::refactor(symbolic, mild).is_ok());
+}
+
+TEST(SpluStatus, InjectionSitesFireDeterministically) {
+  {
+    util::fault::ScopedFault guard(util::fault::Site::kSpluPivot, 1.0);
+    const auto lu = SparseLuD::factor(identity_csr(3));
+    ASSERT_FALSE(lu.is_ok());
+    EXPECT_EQ(lu.status().code(), util::ErrorCode::kInjectedFault);
+  }
+  const auto base = SparseLuD::factor(identity_csr(3));
+  ASSERT_TRUE(base.is_ok());
+  {
+    util::fault::ScopedFault guard(util::fault::Site::kSpluRefactor, 1.0);
+    const auto replay = SparseLuD::refactor(base.value().symbolic(), identity_csr(3));
+    ASSERT_FALSE(replay.is_ok());
+    EXPECT_EQ(replay.status().code(), util::ErrorCode::kInjectedFault);
+  }
+  // Guards gone: both paths work again.
+  EXPECT_TRUE(SparseLuD::factor(identity_csr(3)).is_ok());
+  EXPECT_TRUE(SparseLuD::refactor(base.value().symbolic(), identity_csr(3)).is_ok());
 }
 
 }  // namespace

@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "util/faultinject.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::util {
 namespace {
@@ -98,6 +102,61 @@ TEST(ThreadPool, ResolveNumThreadsParsesEnvOverride) {
   EXPECT_EQ(resolve_num_threads("-2"), hw);
   EXPECT_EQ(resolve_num_threads("99999"), hw);
   EXPECT_EQ(resolve_num_threads(""), hw);
+}
+
+TEST(ParallelTryMap, OneFailingTaskDoesNotPoisonSiblings) {
+  const auto out = parallel_try_map<int>(100, [](index i) -> Expected<int> {
+    if (i == 37) throw std::runtime_error("boom");
+    if (i == 53) return Status(ErrorCode::kNonFinite, "bad sample");
+    return static_cast<int>(i) * 2;
+  });
+  ASSERT_EQ(out.size(), 100u);
+  for (index i = 0; i < 100; ++i) {
+    const auto& slot = out[static_cast<std::size_t>(i)];
+    if (i == 37) {
+      ASSERT_FALSE(slot.is_ok());
+      EXPECT_EQ(slot.status().code(), ErrorCode::kUnhandledException);
+      EXPECT_EQ(slot.status().message(), "boom");
+    } else if (i == 53) {
+      ASSERT_FALSE(slot.is_ok());
+      EXPECT_EQ(slot.status().code(), ErrorCode::kNonFinite);
+    } else {
+      ASSERT_TRUE(slot.is_ok()) << i;
+      EXPECT_EQ(slot.value(), static_cast<int>(i) * 2);
+    }
+  }
+}
+
+TEST(ParallelTryMap, StatusErrorKeepsItsTaxonomyCode) {
+  const auto out = parallel_try_map<int>(4, [](index i) -> Expected<int> {
+    if (i == 2)
+      throw StatusError(Status(ErrorCode::kSingularMatrix, "pole hit").with_detail(9, 1e-18));
+    return 1;
+  });
+  ASSERT_FALSE(out[2].is_ok());
+  EXPECT_EQ(out[2].status().code(), ErrorCode::kSingularMatrix);
+  EXPECT_EQ(out[2].status().detail_index(), 9);
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{3}})
+    EXPECT_TRUE(out[k].is_ok());
+}
+
+TEST(ParallelTryMap, PoolTaskInjectionFailsOnlyCondemnedSlots) {
+  fault::ScopedFault guard(fault::Site::kPoolTask, 0.5, 21);
+  const auto out = parallel_try_map<int>(64, [](index i) -> Expected<int> {
+    return static_cast<int>(i);
+  });
+  int injected = 0;
+  for (index i = 0; i < 64; ++i) {
+    const bool condemned = fault::decide(0.5, 21, fault::Site::kPoolTask,
+                                         static_cast<std::uint64_t>(i));
+    const auto& slot = out[static_cast<std::size_t>(i)];
+    EXPECT_EQ(slot.is_ok(), !condemned) << i;
+    if (!slot.is_ok()) {
+      EXPECT_EQ(slot.status().code(), ErrorCode::kInjectedFault);
+      ++injected;
+    }
+  }
+  EXPECT_GT(injected, 0);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@ from analyze.checks import (  # noqa: F401
     abs_squared,
     alloc_in_parallel,
     counter_discipline,
+    discarded_status,
     float_eq,
     lock_outside_api,
     missing_guard,

@@ -1,0 +1,61 @@
+"""discarded-status: a try_*() / parallel_try_map() result thrown away.
+
+The fallible kernels (docs/ROBUSTNESS.md) return ``[[nodiscard]]``
+Status / Expected values, and the compiler warns on a plainly discarded
+call. But the warning is easy to lose behind a cast or an older
+toolchain, and review comments about "you dropped the Status" deserve
+automation. This check flags statement-position calls to the ``try_``
+family and ``parallel_try_map`` whose result is not consumed: the call
+starts its statement, and the previous statement fragment does not end in
+something (``=``, ``return``, ``(``, an operator, ...) that would consume
+the value.
+
+Tokenizer-only by design — the pattern is syntactic enough that the AST
+adds nothing. ``try_lock`` belongs to lock-outside-api and is excluded.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyze import registry
+
+# A statement that *begins* with a fallible call: optional object/namespace
+# chain, then the function name, then '(' or an explicit template argument
+# list ('<' for parallel_try_map<T>).
+CALL_RE = re.compile(
+    r"^(?:[A-Za-z_]\w*\s*(?:\.|->|::)\s*)*"
+    r"(try_[a-z]\w*|parallel_try_map)\s*[<(]")
+
+EXCLUDED = {"try_lock"}
+
+# If the previous statement fragment ends with one of these, the call on
+# this line is consumed by it (assignment, return, condition, argument,
+# initializer, operator chain, ...).
+CONSUMING_TAIL_RE = re.compile(
+    r"(?:[=(,\[!<>+\-*/%&|^?:]|\breturn|\bco_return|&&|\|\|)\s*$")
+
+
+@registry.register(
+    "discarded-status",
+    "statement-position try_*() / parallel_try_map() call whose "
+    "Status/Expected result is discarded")
+def run(ctx):
+    out = []
+    for path in ctx.cpp_files(under="src"):
+        prev_fragment = ""
+        for i, line in enumerate(ctx.clean_lines(path), 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            m = CALL_RE.match(stripped)
+            if m and m.group(1) not in EXCLUDED:
+                if not CONSUMING_TAIL_RE.search(prev_fragment):
+                    out.append(ctx.finding(
+                        "discarded-status", path, i, m.group(1),
+                        f"result of `{m.group(1)}()` is discarded — a "
+                        "dropped Status/Expected silently swallows the "
+                        "failure; assign it, branch on it, or convert it "
+                        "via .value()"))
+            prev_fragment = stripped
+    return out

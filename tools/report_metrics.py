@@ -42,6 +42,35 @@ MANIFEST_REQUIRED = {
     "trace": list,
 }
 
+# Optional "degradation" extra (mor::degradation_extra, docs/ROBUSTNESS.md):
+# per-run graceful-degradation stats. When present it must carry the full
+# field set so retry/drop/reweight counts are auditable.
+DEGRADATION_COUNTS = ("samples_attempted", "samples_ok", "samples_dropped",
+                      "retries", "regularized", "reweights")
+
+
+def validate_degradation(deg) -> list[str]:
+    errors = []
+    if not isinstance(deg, dict):
+        return ["extra 'degradation' must be an object"]
+    for key in DEGRADATION_COUNTS:
+        if not isinstance(deg.get(key), int) or deg.get(key) < 0:
+            errors.append(f"degradation.{key} must be a nonnegative integer")
+    cov = deg.get("coverage")
+    if not isinstance(cov, (int, float)) or not 0.0 <= cov <= 1.0:
+        errors.append("degradation.coverage must be a number in [0, 1]")
+    failures = deg.get("failures")
+    if not isinstance(failures, list):
+        errors.append("degradation.failures must be an array")
+    else:
+        for i, f in enumerate(failures):
+            if not isinstance(f, dict) or not {"sample", "code", "retries"} <= f.keys():
+                errors.append(f"degradation.failures[{i}] lacks sample/code/retries")
+        if isinstance(deg.get("samples_dropped"), int) \
+                and len(failures) < deg["samples_dropped"]:
+            errors.append("degradation.failures records fewer entries than samples_dropped")
+    return errors
+
 
 def fail(msg: str) -> None:
     print(f"report_metrics: {msg}", file=sys.stderr)
@@ -78,6 +107,9 @@ def validate_manifest(path: Path, data: dict) -> list[str]:
     for i, scope in enumerate(data.get("trace", [])):
         if not isinstance(scope, dict) or not {"path", "count", "seconds"} <= scope.keys():
             errors.append(f"trace[{i}] lacks path/count/seconds")
+    extra = data.get("extra")
+    if isinstance(extra, dict) and "degradation" in extra:
+        errors.extend(validate_degradation(extra["degradation"]))
     return [f"{path}: {e}" for e in errors]
 
 

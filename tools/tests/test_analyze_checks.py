@@ -264,13 +264,48 @@ class NarrowingIndexTest(unittest.TestCase):
                 keys, ["narrowing-index:src/sparse/bad.cpp:static_cast<int>"])
 
 
+class DiscardedStatusTest(unittest.TestCase):
+    def test_statement_position_call_flagged(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/mor/bad.cpp": (
+                    "void f(Sys& sys) {\n"
+                    "  sys.try_prepare_shifted(s);\n"
+                    "  util::parallel_try_map<int>(n, fn);\n"
+                    "}\n"),
+            })
+            keys = sorted(f.key() for f in run_check(repo, "discarded-status"))
+            self.assertEqual(keys, [
+                "discarded-status:src/mor/bad.cpp:parallel_try_map",
+                "discarded-status:src/mor/bad.cpp:try_prepare_shifted",
+            ])
+
+    def test_consumed_results_clean(self):
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {
+                "src/mor/ok.cpp": (
+                    "void f(Sys& sys) {\n"
+                    "  auto st = sys.try_prepare_shifted(s);\n"
+                    "  if (st.is_ok()) return;\n"
+                    "  return\n"
+                    "      try_solve(s);\n"
+                    "  slot =\n"
+                    "      try_solve(s);\n"
+                    "  use(\n"
+                    "      try_solve(s));\n"
+                    "  m.try_lock();\n"  # lock-outside-api's domain
+                    "}\n"),
+            })
+            self.assertEqual(run_check(repo, "discarded-status"), [])
+
+
 class RegistryTest(unittest.TestCase):
-    def test_all_nine_checks_registered(self):
+    def test_all_checks_registered(self):
         names = set(registry.all_checks())
         self.assertEqual(names, {
             "raw-data-access", "float-eq", "missing-guard", "abs-squared",
             "raw-chrono", "lock-outside-api", "alloc-in-parallel",
-            "counter-discipline", "narrowing-index",
+            "counter-discipline", "narrowing-index", "discarded-status",
         })
 
 
