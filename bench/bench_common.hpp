@@ -45,6 +45,7 @@ struct TimingRecord {
   long n = 0;
   long samples = 0;
   int threads = 1;
+  double gflops = 0.0;  // achieved GFLOP/s, 0 when the record has no flop count
 };
 
 /// Writes bench_out/BENCH_<name>.json with the given records, so CI and
@@ -78,6 +79,8 @@ inline std::string write_timing_json(const std::string& name,
     w.value(static_cast<std::int64_t>(r.samples));
     w.key("threads");
     w.value(static_cast<std::int64_t>(r.threads));
+    w.key("gflops");
+    w.value(r.gflops);
     w.end_object();
   }
   w.end_array();

@@ -17,6 +17,7 @@
 #include "mor/prima.hpp"
 #include "mor/tbr.hpp"
 #include "sparse/splu.hpp"
+#include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -89,9 +90,25 @@ BENCHMARK(BM_ShiftedSolve)
     ->Complexity()
     ->Unit(benchmark::kMillisecond);
 
+// Total trace seconds across every scope path ending in `suffix` —
+// aggregates worker-thread chains (which start fresh at the scope) and
+// caller chains (nested under "pmtbr") alike.
+double phase_seconds(const std::vector<obs::ScopeStat>& snap, const std::string& suffix) {
+  double total = 0.0;
+  for (const auto& s : snap) {
+    if (s.path.size() < suffix.size()) continue;
+    if (s.path.compare(s.path.size() - suffix.size(), suffix.size(), suffix) == 0)
+      total += s.seconds;
+  }
+  return total;
+}
+
 // Thread-count sweep for the parallel sampling engine, plus a
 // symbolic-reuse measurement, recorded as machine-readable JSON
-// (bench_out/BENCH_cost_scaling.json) for CI timing diffs.
+// (bench_out/BENCH_cost_scaling.json) for CI timing diffs. Each pmtbr run
+// also emits per-phase records (sampling vs. compression vs. projection)
+// aggregated from the trace scopes, so regressions can be attributed to a
+// phase instead of showing up only as an end-to-end delta.
 std::vector<bench::TimingRecord> run_parallel_sweep() {
   std::vector<bench::TimingRecord> records;
 
@@ -109,17 +126,33 @@ std::vector<bench::TimingRecord> run_parallel_sweep() {
   const int hw = util::resolve_num_threads(nullptr);
   std::vector<int> sweep{1, 2, 4};
   if (std::find(sweep.begin(), sweep.end(), hw) == sweep.end()) sweep.push_back(hw);
+  const bool trace_was_enabled = obs::trace_enabled();
+  obs::set_trace_enabled(true);
   for (const int threads : sweep) {
     util::set_global_threads(threads);
     const auto fresh = mesh;  // cold caches for every run
+    obs::reset_trace();
     WallTimer timer;
     const auto result = mor::pmtbr(fresh, opts);
     const double secs = timer.seconds();
-    records.push_back({"pmtbr_threads=" + std::to_string(threads), secs, mesh.n(),
-                       static_cast<long>(result.samples_used.size()), threads});
+    const long samples = static_cast<long>(result.samples_used.size());
+    const std::string base = "pmtbr_threads=" + std::to_string(threads);
+    records.push_back({base, secs, mesh.n(), samples, threads});
+    // Phase attribution from the trace table. Sampling is measured across
+    // worker threads, so with T threads it can exceed the wall-clock share.
+    const auto snap = obs::trace_snapshot();
+    const double sampling = phase_seconds(snap, "pmtbr.sample_block");
+    const double compression = phase_seconds(snap, "compressor.add_columns");
+    const double projection = phase_seconds(snap, "pmtbr.project");
+    records.push_back({base + "_phase=sampling", sampling, mesh.n(), samples, threads});
+    records.push_back({base + "_phase=compression", compression, mesh.n(), samples, threads});
+    records.push_back({base + "_phase=projection", projection, mesh.n(), samples, threads});
     bench::note("pmtbr n=" + std::to_string(mesh.n()) + " samples=50 threads=" +
-                std::to_string(threads) + ": " + std::to_string(secs) + " s");
+                std::to_string(threads) + ": " + std::to_string(secs) + " s (sampling=" +
+                std::to_string(sampling) + " compression=" + std::to_string(compression) +
+                " projection=" + std::to_string(projection) + ")");
   }
+  obs::set_trace_enabled(trace_was_enabled);
   util::set_global_threads(util::resolve_num_threads(nullptr));
 
   // Symbolic reuse: solve the same pencil pattern at many shifts, once with

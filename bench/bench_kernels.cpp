@@ -1,0 +1,192 @@
+// Kernel-level perf records for the blocked dense layer: GEMM (blocked vs.
+// the seed scalar triple loop), blocked compact-WY QR vs. the unblocked
+// reference, TSQR vs. flat QR, and the compressor's blocked block path vs.
+// its per-column reference mode.
+//
+// All dense-kernel records are single-threaded so the numbers isolate the
+// kernel (register tiling, packing, ISA dispatch) from thread scaling,
+// which bench_cost_scaling sweeps separately. Output goes to
+// bench_out/BENCH_kernels.json (with achieved GFLOP/s where a flop count
+// is well-defined) plus the usual run manifest with the gemm_flops /
+// gemm_bytes counters; CI's perf-smoke job validates both artifacts.
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "la/matrix.hpp"
+#include "la/ops.hpp"
+#include "la/qr.hpp"
+#include "la/tsqr.hpp"
+#include "mor/compressor.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pmtbr;
+using la::cd;
+using la::index;
+using la::MatC;
+using la::MatD;
+
+MatD random_mat(Rng& rng, index m, index n) {
+  MatD a(m, n);
+  for (index i = 0; i < m; ++i)
+    for (index j = 0; j < n; ++j) a(i, j) = rng.normal();
+  return a;
+}
+
+MatC random_cmat(Rng& rng, index m, index n) {
+  MatC a(m, n);
+  for (index i = 0; i < m; ++i)
+    for (index j = 0; j < n; ++j) a(i, j) = cd(rng.normal(), rng.normal());
+  return a;
+}
+
+/// Best-of-`reps` wall time of `fn` after one untimed warmup run.
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  fn();
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer t;
+    fn();
+    best = std::min(best, t.seconds());
+  }
+  return best;
+}
+
+void gemm_records(std::vector<bench::TimingRecord>& records) {
+  Rng rng(7);
+  for (const index n : {index{128}, index{256}, index{512}}) {
+    const int reps = n <= 128 ? 5 : (n <= 256 ? 3 : 2);
+    const MatD a = random_mat(rng, n, n);
+    const MatD b = random_mat(rng, n, n);
+    const double dn = static_cast<double>(n);
+    const double flops = 2.0 * dn * dn * dn;
+    const double t_ref = best_seconds(reps, [&] { la::matmul_reference(a, b); });
+    const double t_blk = best_seconds(reps, [&] { la::matmul(a, b); });
+    records.push_back({"gemm_double_reference_n=" + std::to_string(n), t_ref, n, 0, 1,
+                       flops / t_ref / 1e9});
+    records.push_back({"gemm_double_blocked_n=" + std::to_string(n), t_blk, n, 0, 1,
+                       flops / t_blk / 1e9});
+    bench::note("gemm double n=" + std::to_string(n) + ": blocked " +
+                std::to_string(flops / t_blk / 1e9) + " GF/s, reference " +
+                std::to_string(flops / t_ref / 1e9) + " GF/s (" +
+                std::to_string(t_ref / t_blk) + "x)");
+
+    const MatC ac = random_cmat(rng, n, n);
+    const MatC bc = random_cmat(rng, n, n);
+    const double cflops = 8.0 * dn * dn * dn;  // real flops
+    const double tc_ref = best_seconds(std::max(1, reps - 1), [&] { la::matmul_reference(ac, bc); });
+    const double tc_blk = best_seconds(reps, [&] { la::matmul(ac, bc); });
+    records.push_back({"gemm_complex_reference_n=" + std::to_string(n), tc_ref, n, 0, 1,
+                       cflops / tc_ref / 1e9});
+    records.push_back({"gemm_complex_blocked_n=" + std::to_string(n), tc_blk, n, 0, 1,
+                       cflops / tc_blk / 1e9});
+    bench::note("gemm complex n=" + std::to_string(n) + ": blocked " +
+                std::to_string(cflops / tc_blk / 1e9) + " GF/s, reference " +
+                std::to_string(cflops / tc_ref / 1e9) + " GF/s (" +
+                std::to_string(tc_ref / tc_blk) + "x)");
+  }
+}
+
+void qr_records(std::vector<bench::TimingRecord>& records) {
+  Rng rng(11);
+  const index m = 768, n = 384;
+  const MatD a = random_mat(rng, m, n);
+  // Factorization-only flop count (2n^2(m - n/3)); thin-Q accumulation adds
+  // a comparable amount, so the GFLOP/s figures understate both paths
+  // equally and the ratio stays meaningful.
+  const double dm = static_cast<double>(m), dn = static_cast<double>(n);
+  const double flops = 2.0 * dn * dn * (dm - dn / 3.0);
+  const double t_ref = best_seconds(2, [&] { la::qr_reference(a); });
+  const double t_blk = best_seconds(3, [&] { la::qr(a); });
+  records.push_back({"qr_double_reference_768x384", t_ref, m, 0, 1, flops / t_ref / 1e9});
+  records.push_back({"qr_double_blocked_768x384", t_blk, m, 0, 1, flops / t_blk / 1e9});
+  bench::note("qr 768x384: blocked " + std::to_string(t_blk) + " s, reference " +
+              std::to_string(t_ref) + " s (" + std::to_string(t_ref / t_blk) + "x)");
+}
+
+void tsqr_records(std::vector<bench::TimingRecord>& records) {
+  Rng rng(13);
+  const index m = 8192, n = 32;
+  const MatD a = random_mat(rng, m, n);
+  // n < the blocked-QR threshold, so la::qr is the flat unblocked loop here
+  // and the pair isolates what the tree reduction buys on tall-skinny shapes.
+  const double t_flat = best_seconds(2, [&] { la::qr(a); });
+  const double t_tsqr = best_seconds(3, [&] { la::tsqr(a); });
+  records.push_back({"qr_flat_8192x32", t_flat, m, 0, 1});
+  records.push_back({"tsqr_8192x32", t_tsqr, m, 0, 1});
+  bench::note("tsqr 8192x32: " + std::to_string(t_tsqr) + " s vs flat qr " +
+              std::to_string(t_flat) + " s (" + std::to_string(t_flat / t_tsqr) + "x)");
+}
+
+void compressor_records(std::vector<bench::TimingRecord>& records) {
+  // Stream shaped like a PMTBR sampling sweep: a few novel blocks saturate
+  // the reachable subspace, then a long tail of samples that are linear
+  // combinations of columns the basis already spans, with novelty far below
+  // the drop tolerance — the fast-HSV-decay regime the compressor exists
+  // for (paper Fig. 5 in miniature).
+  const index n = 4000, block_cols = 16, num_blocks = 24, novel_blocks = 3;
+  const double drop_tol = 1e-6;
+  Rng rng(17);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(n));
+  std::vector<MatD> blocks;
+  for (index bidx = 0; bidx < novel_blocks; ++bidx) {
+    MatD blk = random_mat(rng, n, block_cols);
+    for (index i = 0; i < n; ++i)
+      for (index j = 0; j < block_cols; ++j) blk(i, j) *= scale;
+    blocks.push_back(std::move(blk));
+  }
+  for (index bidx = novel_blocks; bidx < num_blocks; ++bidx) {
+    MatD blk(n, block_cols);
+    for (index j = 0; j < block_cols; ++j) {
+      for (index pool = 0; pool < novel_blocks; ++pool) {
+        const MatD& pb = blocks[static_cast<std::size_t>(pool)];
+        for (index c = 0; c < pb.cols(); ++c) {
+          const double w = rng.normal();
+          for (index i = 0; i < n; ++i) blk(i, j) += w * pb(i, c);
+        }
+      }
+      for (index i = 0; i < n; ++i) blk(i, j) += 1e-8 * scale * rng.normal();
+    }
+    blocks.push_back(std::move(blk));
+  }
+  const auto run = [&](mor::CompressorMode mode) {
+    mor::IncrementalCompressor comp(n, drop_tol, mode);
+    for (const auto& blk : blocks) comp.add_columns(blk);
+    return comp.rank();
+  };
+  const double t_ref = best_seconds(2, [&] { run(mor::CompressorMode::kReference); });
+  const double t_blk = best_seconds(2, [&] { run(mor::CompressorMode::kBlocked); });
+  const long cols = static_cast<long>(block_cols * num_blocks);
+  records.push_back({"compression_reference", t_ref, n, cols, 1});
+  records.push_back({"compression_blocked", t_blk, n, cols, 1});
+  bench::note("compression n=" + std::to_string(n) + " cols=" + std::to_string(cols) +
+              ": blocked " + std::to_string(t_blk) + " s, reference " + std::to_string(t_ref) +
+              " s (" + std::to_string(t_ref / t_blk) + "x)");
+}
+
+}  // namespace
+
+int main() {
+  pmtbr::bench::banner("kernels",
+                       "dense-kernel GFLOP/s: blocked GEMM/QR/TSQR and compressor block path "
+                       "vs. their scalar references (single thread)");
+  pmtbr::util::set_global_threads(1);
+
+  std::vector<pmtbr::bench::TimingRecord> records;
+  gemm_records(records);
+  qr_records(records);
+  tsqr_records(records);
+  compressor_records(records);
+
+  const std::string json = pmtbr::bench::write_timing_json("kernels", records);
+  if (!json.empty()) pmtbr::bench::note("timing JSON: " + json);
+  pmtbr::bench::write_run_manifest("kernels");
+  return 0;
+}

@@ -62,6 +62,16 @@ class Matrix {
     return m;
   }
 
+  /// Reshape in place to rows×cols with every element zeroed. Reuses the
+  /// existing allocation when capacity suffices, so per-block workspace
+  /// matrices (mor/compressor.hpp) stop paying an allocation per call.
+  void resize(index rows, index cols) {
+    const std::size_t count = detail::checked_element_count(rows, cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(count, T{});
+  }
+
   index rows() const { return rows_; }
   index cols() const { return cols_; }
   bool empty() const { return rows_ == 0 || cols_ == 0; }

@@ -3,57 +3,107 @@
 #include <algorithm>
 #include <cmath>
 
+#include "la/gemm_kernel.hpp"
 #include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace pmtbr::la {
 
 namespace {
 
-// Flop count below which a product is not worth scheduling on the pool.
-constexpr double kParallelMatmulFlops = 1 << 18;
+// Below this flop count the blocked kernel's packing overhead is not paid
+// back; the plain i-k-j loop runs instead.
+constexpr double kBlockedGemmFlops = 2.0 * 24 * 24 * 24;
 
-// Rows of C computed per scheduled unit: large enough that each unit does
-// meaningful work, small enough to load-balance tall-skinny products.
-constexpr index kMatmulRowPanel = 16;
+// Square tile edge for the blocked transpose: 32×32 doubles = two 8 KB
+// stripes, comfortably L1-resident for source and destination at once.
+constexpr index kTransposeTile = 32;
+
+template <typename T>
+void record_gemm(index m, index n, index k) {
+  obs::counter_add(obs::Counter::kGemmCalls);
+  obs::counter_add(obs::Counter::kGemmFlops,
+                   static_cast<std::int64_t>(2.0 * static_cast<double>(m) *
+                                             static_cast<double>(n) * static_cast<double>(k)));
+  obs::counter_add(
+      obs::Counter::kGemmBytes,
+      static_cast<std::int64_t>(sizeof(T)) *
+          static_cast<std::int64_t>(static_cast<double>(m) * static_cast<double>(k) +
+                                    static_cast<double>(k) * static_cast<double>(n) +
+                                    static_cast<double>(m) * static_cast<double>(n)));
+}
+
+// Seed scalar loop: i-k-j keeps the inner loop contiguous in row-major
+// storage; exact zeros are skipped (changes no bits of the result).
+template <typename T>
+void matmul_scalar(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
+  for (index i = 0; i < a.rows(); ++i) {
+    T* ci = c.row_ptr(i);
+    for (index k = 0; k < a.cols(); ++k) {
+      const T aik = a(i, k);
+      if (aik == T{}) continue;
+      const T* bk = b.row_ptr(k);
+      for (index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
 
 }  // namespace
 
 template <typename T>
-Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+void matmul_into(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c) {
   PMTBR_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  PMTBR_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(), "matmul output shape mismatch");
+  PMTBR_REQUIRE(c.data() != a.data() && c.data() != b.data(),
+                "matmul output must not alias an operand");
   PMTBR_CHECK_FINITE(a, "matmul lhs");
   PMTBR_CHECK_FINITE(b, "matmul rhs");
-  Matrix<T> c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop contiguous in row-major storage.
-  // Each row of C depends only on one row of A, so row panels fan out
-  // across the pool with no shared writes; per-row arithmetic is identical
-  // to the serial loop, keeping results bit-identical.
-  const auto row_panel = [&](index i0, index i1) {
-    for (index i = i0; i < i1; ++i) {
-      T* ci = c.row_ptr(i);
-      for (index k = 0; k < a.cols(); ++k) {
-        const T aik = a(i, k);
-        if (aik == T{}) continue;
-        const T* bk = b.row_ptr(k);
-        for (index j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-      }
-    }
-  };
-  const double flops = static_cast<double>(a.rows()) * static_cast<double>(a.cols()) *
+  record_gemm<T>(a.rows(), b.cols(), a.cols());
+  const double flops = 2.0 * static_cast<double>(a.rows()) * static_cast<double>(a.cols()) *
                        static_cast<double>(b.cols());
-  // Multiply-add pair per (i,k,j) triple; zero-skips make this an upper
-  // bound, which is the useful direction for a cost estimate.
-  obs::counter_add(obs::Counter::kGemmFlops, static_cast<std::int64_t>(2.0 * flops));
-  if (flops < kParallelMatmulFlops || a.rows() < 2 * kMatmulRowPanel) {
-    row_panel(0, a.rows());
-    return c;
+  if (flops < kBlockedGemmFlops) {
+    // The output may hold stale values; the scalar loop accumulates.
+    for (index i = 0; i < c.rows(); ++i) {
+      T* ci = c.row_ptr(i);
+      for (index j = 0; j < c.cols(); ++j) ci[j] = T{};
+    }
+    matmul_scalar(a, b, c);
+    return;
   }
-  const index panels = (a.rows() + kMatmulRowPanel - 1) / kMatmulRowPanel;
-  util::parallel_for(0, panels, [&](index p) {
-    const index i0 = p * kMatmulRowPanel;
-    row_panel(i0, std::min<index>(i0 + kMatmulRowPanel, a.rows()));
-  });
+  PMTBR_TRACE_SCOPE("la.gemm");
+  detail::gemm_matrices(a, b, c, detail::GemmAcc::kSet);
+}
+
+template <typename T>
+Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b) {
+  PMTBR_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  matmul_into(a, b, c);
+  return c;
+}
+
+template <typename T>
+Matrix<T> matmul_at(const Matrix<T>& a, const Matrix<T>& b) {
+  PMTBR_REQUIRE(a.rows() == b.rows(), "matmul_at shape mismatch");
+  PMTBR_CHECK_FINITE(a, "matmul_at lhs");
+  PMTBR_CHECK_FINITE(b, "matmul_at rhs");
+  const index m = a.cols(), n = b.cols(), k = a.rows();
+  Matrix<T> c(m, n);
+  record_gemm<T>(m, n, k);
+  PMTBR_TRACE_SCOPE("la.gemm");
+  // A^H is read in place: row i of the product walks column i of A, so the
+  // packing strides are swapped (row stride 1, column stride a.cols()).
+  detail::gemm<T, true>(m, n, k, a.data(), 1, a.cols(), b.data(), b.cols(), 1, c.data(),
+                        c.cols(), detail::GemmAcc::kSet);
+  return c;
+}
+
+template <typename T>
+Matrix<T> matmul_reference(const Matrix<T>& a, const Matrix<T>& b) {
+  PMTBR_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix<T> c(a.rows(), b.cols());
+  matmul_scalar(a, b, c);
   return c;
 }
 
@@ -72,20 +122,36 @@ std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x) {
   return y;
 }
 
-template <typename T>
-Matrix<T> transpose(const Matrix<T>& a) {
-  Matrix<T> t(a.cols(), a.rows());
-  for (index i = 0; i < a.rows(); ++i)
-    for (index j = 0; j < a.cols(); ++j) t(j, i) = a(i, j);
+namespace {
+
+// Out-of-place transpose in square tiles: both the source rows and the
+// destination rows of one tile stay cache-resident, where the element-wise
+// loop pays a cache miss per destination element on tall matrices.
+template <typename T, bool Conj>
+Matrix<T> transpose_blocked(const Matrix<T>& a) {
+  const index m = a.rows(), n = a.cols();
+  Matrix<T> t(n, m);
+  for (index i0 = 0; i0 < m; i0 += kTransposeTile) {
+    const index i1 = std::min<index>(i0 + kTransposeTile, m);
+    for (index j0 = 0; j0 < n; j0 += kTransposeTile) {
+      const index j1 = std::min<index>(j0 + kTransposeTile, n);
+      for (index i = i0; i < i1; ++i) {
+        const T* src = a.row_ptr(i);
+        for (index j = j0; j < j1; ++j) t(j, i) = detail::conj_if<Conj>(src[j]);
+      }
+    }
+  }
   return t;
 }
 
-MatC adjoint(const MatC& a) {
-  MatC t(a.cols(), a.rows());
-  for (index i = 0; i < a.rows(); ++i)
-    for (index j = 0; j < a.cols(); ++j) t(j, i) = std::conj(a(i, j));
-  return t;
+}  // namespace
+
+template <typename T>
+Matrix<T> transpose(const Matrix<T>& a) {
+  return transpose_blocked<T, false>(a);
 }
+
+MatC adjoint(const MatC& a) { return transpose_blocked<cd, true>(a); }
 
 MatD adjoint(const MatD& a) { return transpose(a); }
 
@@ -185,6 +251,12 @@ double max_abs_diff(const Matrix<T>& a, const Matrix<T>& b) {
 // Explicit instantiations for the two supported scalars.
 template Matrix<double> matmul(const Matrix<double>&, const Matrix<double>&);
 template Matrix<cd> matmul(const Matrix<cd>&, const Matrix<cd>&);
+template void matmul_into(const Matrix<double>&, const Matrix<double>&, Matrix<double>&);
+template void matmul_into(const Matrix<cd>&, const Matrix<cd>&, Matrix<cd>&);
+template Matrix<double> matmul_at(const Matrix<double>&, const Matrix<double>&);
+template Matrix<cd> matmul_at(const Matrix<cd>&, const Matrix<cd>&);
+template Matrix<double> matmul_reference(const Matrix<double>&, const Matrix<double>&);
+template Matrix<cd> matmul_reference(const Matrix<cd>&, const Matrix<cd>&);
 template std::vector<double> matvec(const Matrix<double>&, const std::vector<double>&);
 template std::vector<cd> matvec(const Matrix<cd>&, const std::vector<cd>&);
 template Matrix<double> transpose(const Matrix<double>&);

@@ -10,15 +10,33 @@ namespace pmtbr::la {
 
 // --- products -------------------------------------------------------------
 
-/// C = A * B.
+/// C = A * B. Register-tiled, cache-blocked kernel (la/gemm_kernel.hpp);
+/// bit-identical for every thread count.
 template <typename T>
 Matrix<T> matmul(const Matrix<T>& a, const Matrix<T>& b);
+
+/// C = A * B into a preallocated C (shape-checked). C must not alias A or
+/// B — the blocked kernel packs operand panels while C is being written.
+template <typename T>
+void matmul_into(const Matrix<T>& a, const Matrix<T>& b, Matrix<T>& c);
+
+/// C = A^H * B (conjugate-transpose for complex, transpose for real)
+/// without materializing the transpose: the kernel's packing reads A
+/// through swapped strides.
+template <typename T>
+Matrix<T> matmul_at(const Matrix<T>& a, const Matrix<T>& b);
+
+/// The seed scalar i-k-j triple loop, kept as the comparison baseline for
+/// tests (bitwise-independent oracle) and bench_kernels speedup records.
+template <typename T>
+Matrix<T> matmul_reference(const Matrix<T>& a, const Matrix<T>& b);
 
 /// y = A * x.
 template <typename T>
 std::vector<T> matvec(const Matrix<T>& a, const std::vector<T>& x);
 
-/// A^T (plain transpose, no conjugation).
+/// A^T (plain transpose, no conjugation). Cache-blocked: source and
+/// destination are walked in tiles so tall matrices do not thrash.
 template <typename T>
 Matrix<T> transpose(const Matrix<T>& a);
 

@@ -19,9 +19,16 @@ struct QrResult {
   index rank = 0;            // numerical rank estimate (pivoted only; else k)
 };
 
-/// Thin QR of an m×n matrix (m >= n is typical; m < n allowed).
+/// Thin QR of an m×n matrix (m >= n is typical; m < n allowed). Large
+/// factorizations take the blocked compact-WY path (panel Householder
+/// factorization + GEMM trailing updates); small ones the unblocked loop.
 template <typename T>
 QrResult<T> qr(const Matrix<T>& a);
+
+/// The seed unblocked Householder loop, kept as the comparison oracle for
+/// the blocked path's backward-error tests and bench_kernels records.
+template <typename T>
+QrResult<T> qr_reference(const Matrix<T>& a);
 
 /// Column-pivoted thin QR; `rank` counts diagonal entries of R above
 /// rel_tol * |R(0,0)|.

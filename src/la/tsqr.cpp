@@ -1,0 +1,135 @@
+#include "la/tsqr.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "la/gemm_kernel.hpp"
+#include "la/qr.hpp"
+#include "util/obs/counters.hpp"
+#include "util/obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pmtbr::la {
+
+namespace {
+
+// Leaf height: tall enough that the n×n combine QRs are amortized against
+// the leaf work, and a pure function of the shape (determinism).
+index tsqr_chunk_rows(index m, index n) {
+  return std::min<index>(std::max<index>(index{512}, 4 * n), m);
+}
+
+}  // namespace
+
+template <typename T>
+TsqrResult<T> tsqr(const Matrix<T>& a) {
+  PMTBR_CHECK_FINITE(a, "tsqr input matrix");
+  const index m = a.rows(), n = a.cols();
+
+  const index chunk = m > 0 ? tsqr_chunk_rows(m, n) : index{1};
+  const index leaves = std::max<index>(1, m / chunk);  // tail joins the last leaf
+  if (leaves < 2) {
+    auto f = qr(a);
+    return TsqrResult<T>{std::move(f.q), std::move(f.r)};
+  }
+
+  PMTBR_TRACE_SCOPE("la.tsqr");
+  obs::counter_add(obs::Counter::kTsqrFactorizations);
+  obs::counter_add(obs::Counter::kTsqrLeafBlocks, leaves);
+
+  // Fixed leaf row ranges: [start[i], start[i+1]).
+  std::vector<index> start(static_cast<std::size_t>(leaves) + 1);
+  for (index i = 0; i < leaves; ++i) start[static_cast<std::size_t>(i)] = i * chunk;
+  start[static_cast<std::size_t>(leaves)] = m;
+
+  // Leaf QRs run concurrently; every leaf has ≥ chunk ≥ 4n rows, so each
+  // R factor is a full n×n triangle.
+  std::vector<Matrix<T>> leaf_q(static_cast<std::size_t>(leaves));
+  std::vector<Matrix<T>> cur(static_cast<std::size_t>(leaves));
+  util::parallel_for(0, leaves, [&](index i) {
+    auto f = qr(a.rows_range(start[static_cast<std::size_t>(i)],
+                             start[static_cast<std::size_t>(i) + 1]));
+    leaf_q[static_cast<std::size_t>(i)] = std::move(f.q);
+    cur[static_cast<std::size_t>(i)] = std::move(f.r);
+  });
+
+  // Pairwise reduction: combine (0,1), (2,3), ...; an odd trailing R passes
+  // through unchanged. Each level's combine Q factors (2n×n) are kept for
+  // the coefficient back-propagation.
+  std::vector<std::vector<Matrix<T>>> level_q;
+  std::vector<index> level_count;
+  while (static_cast<index>(cur.size()) > 1) {
+    const index cnt = static_cast<index>(cur.size());
+    const index pairs = cnt / 2;
+    std::vector<Matrix<T>> next(static_cast<std::size_t>((cnt + 1) / 2));
+    std::vector<Matrix<T>> qs(static_cast<std::size_t>(pairs));
+    // Stacked pair inputs are built (and allocated) serially; only the
+    // combine factorizations fan out.
+    std::vector<Matrix<T>> stacks(static_cast<std::size_t>(pairs));
+    for (index p = 0; p < pairs; ++p) {
+      Matrix<T> s(2 * n, n);
+      const Matrix<T>& top = cur[static_cast<std::size_t>(2 * p)];
+      const Matrix<T>& bot = cur[static_cast<std::size_t>(2 * p + 1)];
+      for (index i = 0; i < n; ++i)
+        for (index j = i; j < n; ++j) {
+          s(i, j) = top(i, j);
+          s(n + i, j) = bot(i, j);
+        }
+      stacks[static_cast<std::size_t>(p)] = std::move(s);
+    }
+    util::parallel_for(0, pairs, [&](index p) {
+      auto f = qr(stacks[static_cast<std::size_t>(p)]);
+      qs[static_cast<std::size_t>(p)] = std::move(f.q);
+      next[static_cast<std::size_t>(p)] = std::move(f.r);
+    });
+    if (cnt % 2) next[static_cast<std::size_t>(pairs)] = std::move(cur[static_cast<std::size_t>(cnt - 1)]);
+    level_count.push_back(cnt);
+    level_q.push_back(std::move(qs));
+    cur = std::move(next);
+  }
+
+  TsqrResult<T> out;
+  out.r = std::move(cur[0]);
+
+  // Coefficient back-propagation: the root's coefficient is I; each
+  // combine's children receive the halves of its Q factor times the
+  // parent's coefficient. Small n×n products — done serially.
+  std::vector<Matrix<T>> coeff;
+  coeff.push_back(Matrix<T>::identity(n));
+  for (index lv = static_cast<index>(level_q.size()) - 1; lv >= 0; --lv) {
+    const index cnt = level_count[static_cast<std::size_t>(lv)];
+    const index pairs = static_cast<index>(level_q[static_cast<std::size_t>(lv)].size());
+    std::vector<Matrix<T>> child(static_cast<std::size_t>(cnt));
+    for (index p = 0; p < pairs; ++p) {
+      const Matrix<T>& qp = level_q[static_cast<std::size_t>(lv)][static_cast<std::size_t>(p)];
+      const Matrix<T>& c = coeff[static_cast<std::size_t>(p)];
+      Matrix<T> top(n, n), bot(n, n);
+      detail::gemm<T, false>(n, n, n, qp.data(), n, 1, c.data(), n, 1, top.data(), n,
+                             detail::GemmAcc::kSet);
+      detail::gemm<T, false>(n, n, n, qp.data() + n * n, n, 1, c.data(), n, 1, bot.data(), n,
+                             detail::GemmAcc::kSet);
+      child[static_cast<std::size_t>(2 * p)] = std::move(top);
+      child[static_cast<std::size_t>(2 * p + 1)] = std::move(bot);
+    }
+    if (cnt % 2) child[static_cast<std::size_t>(cnt - 1)] = std::move(coeff[static_cast<std::size_t>(pairs)]);
+    coeff = std::move(child);
+  }
+
+  // Explicit Q: each leaf's rows are Q_leaf_i · C_i, written into disjoint
+  // row ranges concurrently.
+  out.q = Matrix<T>(m, n);
+  util::parallel_for(0, leaves, [&](index i) {
+    const index r0 = start[static_cast<std::size_t>(i)];
+    const index rows = start[static_cast<std::size_t>(i) + 1] - r0;
+    detail::gemm<T, false>(rows, n, n, leaf_q[static_cast<std::size_t>(i)].data(), n, 1,
+                           coeff[static_cast<std::size_t>(i)].data(), n, 1,
+                           out.q.data() + r0 * n, n, detail::GemmAcc::kSet);
+  });
+  return out;
+}
+
+template TsqrResult<double> tsqr(const Matrix<double>&);
+template TsqrResult<cd> tsqr(const Matrix<cd>&);
+
+}  // namespace pmtbr::la

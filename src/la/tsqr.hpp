@@ -1,0 +1,31 @@
+// Communication-avoiding tall-skinny QR (TSQR).
+//
+// The m×n input (m ≫ n) is split into fixed row chunks; each chunk gets an
+// independent leaf QR, and the stacked n×n R factors are reduced pairwise
+// until one R remains. Back-propagating the combine Q factors yields an
+// n×n coefficient per leaf, and Q = diag(Q_leaf_i) · [C_i] lands each
+// leaf's rows with one small GEMM.
+//
+// The leaf boundaries and the reduction-tree shape are functions of (m, n)
+// only — never of the pool size — so the factorization is bit-identical
+// for every thread count (the determinism contract the compressor relies
+// on, see tests/mor/determinism_test.cpp).
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace pmtbr::la {
+
+template <typename T>
+struct TsqrResult {
+  Matrix<T> q;  // m×k with orthonormal columns, k = min(m, n)
+  Matrix<T> r;  // k×n upper triangular
+};
+
+/// Thin QR via the leaf/pairwise reduction tree. Falls back to the blocked
+/// in-core factorization (la::qr) when the matrix is too short for at least
+/// two leaves, so it is safe to call for any shape.
+template <typename T>
+TsqrResult<T> tsqr(const Matrix<T>& a);
+
+}  // namespace pmtbr::la

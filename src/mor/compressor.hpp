@@ -1,13 +1,25 @@
 // Incremental sample-matrix compressor for on-the-fly order control
 // (paper Sec. V-C).
 //
-// Maintains a growing factorization  Z_(i) W = Q R  with Q orthonormal
-// (modified Gram–Schmidt with reorthogonalization) so that absorbing a new
-// sample block costs O(n·k) instead of a fresh SVD of everything, and the
-// singular values of Z_(i) W are recovered from the small k×m matrix R.
-// This plays the role the paper assigns to updatable rank-revealing
-// factorizations (RRQR/UTV): cheap trailing-singular-value estimates after
-// every sample, plus an orthonormal basis for the dominant subspace.
+// Maintains a growing factorization  Z_(i) W = Q R  with Q orthonormal so
+// that absorbing a new sample block costs O(n·k·rank) GEMM flops instead
+// of a fresh SVD of everything, and the singular values of Z_(i) W are
+// recovered from the small rank×m matrix R. This plays the role the paper
+// assigns to updatable rank-revealing factorizations (RRQR/UTV): cheap
+// trailing-singular-value estimates after every sample, plus an
+// orthonormal basis for the dominant subspace.
+//
+// Two absorption paths:
+//  - kBlocked (default): two passes of block classical Gram–Schmidt
+//    against the existing basis (three GEMMs per pass), then a TSQR of the
+//    n×k residual block and an SVD of its small k×k R factor to decide
+//    which new directions survive drop_tol. One factorization per block
+//    instead of per column.
+//  - kReference: the seed per-column modified Gram–Schmidt loop, kept as
+//    the comparison oracle for tests and bench_kernels.
+//
+// Both paths are deterministic for any thread count: the blocked path's
+// GEMM and TSQR building blocks are bit-reproducible by construction.
 #pragma once
 
 #include <vector>
@@ -19,21 +31,27 @@ namespace pmtbr::mor {
 using la::index;
 using la::MatD;
 
+enum class CompressorMode {
+  kBlocked,    // block Gram–Schmidt + TSQR + small SVD
+  kReference,  // seed per-column modified Gram–Schmidt
+};
+
 class IncrementalCompressor {
  public:
   /// `n` is the state dimension; `drop_tol` is the relative norm below which
-  /// a new column adds no new direction to Q.
-  explicit IncrementalCompressor(index n, double drop_tol = 1e-13);
+  /// a new direction adds nothing to Q.
+  explicit IncrementalCompressor(index n, double drop_tol = 1e-13,
+                                 CompressorMode mode = CompressorMode::kBlocked);
 
   /// Absorbs the columns of `block` (already weight-scaled by the caller).
   /// Returns the Frobenius norm of the block's component orthogonal to the
   /// basis as it stood BEFORE the call — the "novelty" of the block, free
-  /// of charge from the Gram–Schmidt coefficients (adaptive sampling used
+  /// of charge from the Gram–Schmidt projection (adaptive sampling used
   /// to recompute this with two n×k products per sample).
   double add_columns(const MatD& block);
 
   index n() const { return n_; }
-  index rank() const { return static_cast<index>(q_cols_.size()); }
+  index rank() const { return rank_; }
   index columns_absorbed() const { return m_; }
 
   /// Singular values of the absorbed matrix, descending (length = rank()).
@@ -48,17 +66,37 @@ class IncrementalCompressor {
   index order_for_tolerance(double tol) const;
 
  private:
-  /// Returns the squared norm of v's component orthogonal to the first
-  /// `basis_rank` basis columns (the basis size before the enclosing
-  /// add_columns call started).
+  /// Per-block scratch reused across add_columns calls; Matrix::resize
+  /// keeps the allocations once they have grown to the working size.
+  struct Workspace {
+    MatD resid;  // n×k working copy of the block (residual after projection)
+    MatD proj;   // rank×k Gram–Schmidt coefficients of one pass
+    MatD coeff;  // rank×k accumulated coefficients over both passes
+  };
+
+  double add_block(const MatD& block);
+
+  /// Seed path: returns the squared norm of v's component orthogonal to the
+  /// first `basis_rank` basis directions (the basis size before the
+  /// enclosing add_columns call started).
   double add_column(std::vector<double> v, index basis_rank);
+
+  const double* basis_row(index l) const {
+    return basis_t_.data() + static_cast<std::size_t>(l * n_);
+  }
   MatD r_dense() const;
 
   index n_;
   double drop_tol_;
-  index m_ = 0;                                  // columns absorbed
-  std::vector<std::vector<double>> q_cols_;      // orthonormal basis columns (length n)
-  std::vector<std::vector<double>> r_cols_;      // R columns (length = rank at insertion)
+  CompressorMode mode_;
+  index m_ = 0;     // columns absorbed
+  index rank_ = 0;  // basis directions kept
+  // Basis stored TRANSPOSED: row l (contiguous, length n) is the l-th
+  // orthonormal direction, so appending a direction appends n values and
+  // the GEMM projections read it without materializing a transpose.
+  std::vector<double> basis_t_;
+  std::vector<std::vector<double>> r_cols_;  // R columns (length = rank at insertion)
+  Workspace ws_;
 };
 
 }  // namespace pmtbr::mor

@@ -70,8 +70,8 @@ CrossGramianResult cross_gramian_pmtbr(const DescriptorSystem& sys,
 
   // Joint orthonormal basis Q of [Z^R | Z^L]; compress the eigenproblem.
   const MatD q = la::orth(la::hcat(zr, zl), 1e-12);
-  const MatD rr = la::matmul(la::transpose(q), zr);
-  const MatD rl = la::matmul(la::transpose(q), zl);
+  const MatD rr = la::matmul_at(q, zr);
+  const MatD rl = la::matmul_at(q, zl);
   const MatD m = la::matmul(rr, la::transpose(rl));  // k×k, nonsymmetric
 
   const la::EigResult er = la::eig(m);   // sorted by descending |λ|

@@ -97,7 +97,7 @@ FwbtResult fwbt(const DescriptorSystem& sys, const std::optional<DenseSystem>& i
 
   const MatD lp = la::psd_factor(p);
   const MatD lq = la::psd_factor(q);
-  const la::SvdResult f = la::svd(la::matmul(la::transpose(lq), lp));
+  const la::SvdResult f = la::svd(la::matmul_at(lq, lp));
 
   FwbtResult out;
   out.weighted_hsv = f.s;
@@ -138,8 +138,8 @@ FwbtResult fwbt(const DescriptorSystem& sys, const std::optional<DenseSystem>& i
   out.model.v = v;
   out.model.w = w;
   out.model.singular_values = f.s;
-  MatD ar = la::matmul(la::transpose(w), la::matmul(d.a, v));
-  MatD br = la::matmul(la::transpose(w), d.b);
+  MatD ar = la::matmul_at(w, la::matmul(d.a, v));
+  MatD br = la::matmul_at(w, d.b);
   MatD cr = la::matmul(d.c, v);
   out.model.system = DenseSystem::standard(std::move(ar), std::move(br), std::move(cr));
   if (!out.model.system.is_stable())

@@ -298,11 +298,13 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
   out.degradation = std::move(st.report);
 
   const index order = choose_order(comp, opts);
-  MatD v = comp.basis(order);
-
-  out.model.v = v;
-  out.model.w = v;
-  out.model.system = project_congruence(sys, v);
+  {
+    PMTBR_TRACE_SCOPE("pmtbr.project");
+    MatD v = comp.basis(order);
+    out.model.v = v;
+    out.model.w = v;
+    out.model.system = project_congruence(sys, v);
+  }
   out.model.singular_values = comp.singular_values();
   out.hankel_estimates.reserve(out.model.singular_values.size());
   for (const double s : out.model.singular_values)
@@ -390,10 +392,13 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
   out.degradation = std::move(st.report);
 
   const index order = choose_order(comp, opts);
-  MatD v = comp.basis(order);
-  out.model.v = v;
-  out.model.w = v;
-  out.model.system = project_congruence(sys, v);
+  {
+    PMTBR_TRACE_SCOPE("pmtbr.project");
+    MatD v = comp.basis(order);
+    out.model.v = v;
+    out.model.w = v;
+    out.model.system = project_congruence(sys, v);
+  }
   out.model.singular_values = comp.singular_values();
   for (const double s : out.model.singular_values) out.hankel_estimates.push_back(s * s);
   return out;
@@ -430,6 +435,7 @@ std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
     res.samples_used = used;
     res.degradation = st.report;
     const index q = std::max<index>(1, std::min<index>(order, comp.rank()));
+    PMTBR_TRACE_SCOPE("pmtbr.project");
     MatD v = comp.basis(q);
     res.model.v = v;
     res.model.w = v;

@@ -1,7 +1,9 @@
 #include "mor/prima.hpp"
 
 #include <cmath>
+#include <vector>
 
+#include "la/gemm_kernel.hpp"
 #include "la/ops.hpp"
 #include "sparse/splu.hpp"
 #include "util/logging.hpp"
@@ -27,24 +29,40 @@ PrimaResult prima(const DescriptorSystem& sys, const PrimaOptions& opts) {
   }();
   const sparse::SparseLuD lu(pencil, sys.ordering());
 
-  // Block Arnoldi with modified Gram–Schmidt and deflation.
-  std::vector<std::vector<double>> basis;  // orthonormal columns
-  MatD block = lu.solve(sys.b());          // R0 = (s0 E - A)^{-1} B
+  // Block Arnoldi with deflation. The committed basis is stored TRANSPOSED
+  // (row l = l-th orthonormal direction, contiguous) so each new moment
+  // block is projected against all of it with two GEMM passes; only the
+  // within-block orthogonalization and the deflation decisions stay
+  // per-column.
+  std::vector<double> basis_t;
+  index rank = 0;
+  MatD block = lu.solve(sys.b());  // R0 = (s0 E - A)^{-1} B
 
   for (index moment = 0; moment < opts.num_moments; ++moment) {
-    std::vector<std::vector<double>> accepted;
-    for (index j = 0; j < block.cols(); ++j) {
-      auto v = block.col(j);
-      const double vnorm = la::norm2(v);
-      if (vnorm == 0) continue;
+    const index k = block.cols();
+    // Deflation thresholds come from the PRE-projection column norms.
+    std::vector<double> vnorms(static_cast<std::size_t>(k));
+    for (index j = 0; j < k; ++j) vnorms[static_cast<std::size_t>(j)] = la::norm2(block.col(j));
+
+    // Two passes of block classical Gram–Schmidt against the committed
+    // basis: proj = Q·B, B ← B − Qᵀ·proj.
+    if (rank > 0) {
+      MatD proj(rank, k);
       for (int pass = 0; pass < 2; ++pass) {
-        for (const auto& q : basis) {
-          double d = 0;
-          for (index i = 0; i < n; ++i)
-            d += q[static_cast<std::size_t>(i)] * v[static_cast<std::size_t>(i)];
-          for (index i = 0; i < n; ++i)
-            v[static_cast<std::size_t>(i)] -= d * q[static_cast<std::size_t>(i)];
-        }
+        la::detail::gemm<double, false>(rank, k, n, basis_t.data(), n, 1, block.data(), k, 1,
+                                        proj.data(), k, la::detail::GemmAcc::kSet);
+        la::detail::gemm<double, false>(n, k, rank, basis_t.data(), 1, n, proj.data(), k, 1,
+                                        block.data(), k, la::detail::GemmAcc::kSub);
+      }
+    }
+
+    std::vector<std::vector<double>> accepted;
+    for (index j = 0; j < k; ++j) {
+      const double vnorm = vnorms[static_cast<std::size_t>(j)];
+      if (vnorm == 0) continue;
+      auto v = block.col(j);
+      // Within-block orthogonalization against this moment's survivors.
+      for (int pass = 0; pass < 2; ++pass) {
         for (const auto& q : accepted) {
           double d = 0;
           for (index i = 0; i < n; ++i)
@@ -67,12 +85,16 @@ PrimaResult prima(const DescriptorSystem& sys, const PrimaOptions& opts) {
         cur.set_col(j, accepted[static_cast<std::size_t>(j)]);
       block = lu.solve(sparse_times_dense(sys.e(), cur));
     }
-    for (auto& q : accepted) basis.push_back(std::move(q));
+    for (auto& q : accepted) {
+      basis_t.insert(basis_t.end(), q.begin(), q.end());
+      ++rank;
+    }
   }
 
-  PMTBR_ENSURE(!basis.empty(), "PRIMA produced an empty basis");
-  MatD v(n, static_cast<index>(basis.size()));
-  for (index j = 0; j < v.cols(); ++j) v.set_col(j, basis[static_cast<std::size_t>(j)]);
+  PMTBR_ENSURE(rank > 0, "PRIMA produced an empty basis");
+  MatD v(n, rank);
+  for (index j = 0; j < rank; ++j)
+    for (index i = 0; i < n; ++i) v(i, j) = basis_t[static_cast<std::size_t>(j * n + i)];
   log_debug("prima: basis size ", v.cols(), " (", opts.num_moments, " moments x ", p, " ports)");
 
   PrimaResult out;

@@ -62,10 +62,11 @@ DenseSystem project(const DescriptorSystem& sys, const MatD& v, const MatD& w) {
   PMTBR_REQUIRE(v.cols() == w.cols(), "basis column mismatch");
   PMTBR_CHECK_FINITE(v, "projection basis V");
   PMTBR_CHECK_FINITE(w, "projection basis W");
-  const MatD wt = la::transpose(w);
-  MatD er = la::matmul(wt, sparse_times_dense(sys.e(), v));
-  MatD ar = la::matmul(wt, sparse_times_dense(sys.a(), v));
-  MatD br = la::matmul(wt, sys.b());
+  // Wᵀ·X products read W transposed in place (matmul_at) — no materialized
+  // transpose, and the blocked kernel handles the tall-times-skinny shapes.
+  MatD er = la::matmul_at(w, sparse_times_dense(sys.e(), v));
+  MatD ar = la::matmul_at(w, sparse_times_dense(sys.a(), v));
+  MatD br = la::matmul_at(w, sys.b());
   MatD cr = la::matmul(sys.c(), v);
   return DenseSystem(std::move(er), std::move(ar), std::move(br), std::move(cr));
 }

@@ -19,7 +19,7 @@ TbrResult tbr_standard(const MatD& a, const MatD& b, const MatD& c, const TbrOpt
   const MatD ly = la::psd_factor(y);
 
   // Ly^T Lx = U Σ V^T; Σ are the Hankel singular values.
-  const la::SvdResult f = la::svd(la::matmul(la::transpose(ly), lx));
+  const la::SvdResult f = la::svd(la::matmul_at(ly, lx));
 
   TbrResult out;
   out.hsv = f.s;
@@ -65,8 +65,8 @@ TbrResult tbr_standard(const MatD& a, const MatD& b, const MatD& c, const TbrOpt
 
   out.model.v = v;
   out.model.w = w;
-  MatD ar = la::matmul(la::transpose(w), la::matmul(a, v));
-  MatD br = la::matmul(la::transpose(w), b);
+  MatD ar = la::matmul_at(w, la::matmul(a, v));
+  MatD br = la::matmul_at(w, b);
   MatD cr = la::matmul(c, v);
   out.model.system = DenseSystem::standard(std::move(ar), std::move(br), std::move(cr));
   out.model.singular_values = f.s;
@@ -96,8 +96,8 @@ TbrResult tbr_truncate(const DescriptorSystem& sys, const TbrResult& full, index
   // Project the dense standard form, exactly as tbr() does (the balancing
   // bases satisfy W^T V = I in those coordinates).
   const DenseStandard d = to_dense_standard(sys);
-  MatD ar = la::matmul(la::transpose(out.model.w), la::matmul(d.a, out.model.v));
-  MatD br = la::matmul(la::transpose(out.model.w), d.b);
+  MatD ar = la::matmul_at(out.model.w, la::matmul(d.a, out.model.v));
+  MatD br = la::matmul_at(out.model.w, d.b);
   MatD cr = la::matmul(d.c, out.model.v);
   out.model.system = DenseSystem::standard(std::move(ar), std::move(br), std::move(cr));
   out.error_bound = tbr_error_bound(full.hsv, order);
@@ -111,7 +111,7 @@ std::vector<double> hankel_singular_values(const DescriptorSystem& sys,
   const MatD y = lyap::observability_gramian(d.a, d.c, opts);
   const MatD lx = la::psd_factor(x);
   const MatD ly = la::psd_factor(y);
-  auto s = la::singular_values(la::matmul(la::transpose(ly), lx));
+  auto s = la::singular_values(la::matmul_at(ly, lx));
   const std::size_t n = static_cast<std::size_t>(sys.n());
   if (s.size() < n) s.resize(n, 0.0);  // rank-deficient factors: pad with zeros
   return s;

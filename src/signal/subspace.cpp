@@ -13,7 +13,7 @@ std::vector<double> principal_angles(const la::MatD& a, const la::MatD& b) {
   PMTBR_REQUIRE(a.rows() == b.rows(), "subspaces must live in the same space");
   const la::MatD qa = la::orth(a);
   const la::MatD qb = la::orth(b);
-  auto s = la::singular_values(la::matmul(la::transpose(qa), qb));
+  auto s = la::singular_values(la::matmul_at(qa, qb));
   std::vector<double> angles;
   angles.reserve(s.size());
   // cos θ_i are the singular values of Qa^T Qb; clamp for round-off.

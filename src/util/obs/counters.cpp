@@ -15,7 +15,12 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kSymbolicCacheMiss: return "symbolic_cache_miss";
     case Counter::kShiftedSolve: return "shifted_solve";
     case Counter::kGemmFlops: return "gemm_flops";
+    case Counter::kGemmCalls: return "gemm_calls";
+    case Counter::kGemmBytes: return "gemm_bytes";
     case Counter::kQrFactorizations: return "qr_factorizations";
+    case Counter::kQrBlockedPanels: return "qr_blocked_panels";
+    case Counter::kTsqrFactorizations: return "tsqr_factorizations";
+    case Counter::kTsqrLeafBlocks: return "tsqr_leaf_blocks";
     case Counter::kQrFlops: return "qr_flops";
     case Counter::kSvdCalls: return "svd_calls";
     case Counter::kSvdSweeps: return "svd_sweeps";

@@ -33,7 +33,12 @@ enum class Counter : int {
   kShiftedSolve,           // (sE-A)^{-1} style solves (incl. adjoint/transpose)
   // dense kernels (src/la)
   kGemmFlops,              // 2*m*k*n per matmul call (estimate)
+  kGemmCalls,              // blocked-GEMM invocations (matmul/matmul_into/matmul_at)
+  kGemmBytes,              // sizeof(T)*(m*k + k*n + m*n) per call (traffic lower bound)
   kQrFactorizations,
+  kQrBlockedPanels,        // compact-WY panels factored by the blocked QR
+  kTsqrFactorizations,     // tall-skinny QR reduction trees built
+  kTsqrLeafBlocks,         // leaf QRs across all TSQR trees
   kQrFlops,                // ~2*m*n*min(m,n) per factorization (estimate)
   kSvdCalls,
   kSvdSweeps,              // one-sided Jacobi sweeps actually performed

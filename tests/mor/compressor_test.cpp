@@ -92,5 +92,62 @@ TEST(Compressor, RankNeverExceedsDimension) {
   EXPECT_EQ(comp.columns_absorbed(), 10);
 }
 
+TEST(Compressor, BlockedAndReferenceModesAgree) {
+  Rng rng(66);
+  // Graded-novelty stream: a dominant block, a rescaled repeat (partially
+  // novel numerically), and a fresh block. Both modes must report the same
+  // rank, the same R-factor singular values, and the same dominant span.
+  const la::index n = 40;
+  const MatD a = testing::random_matrix(n, 6, rng);
+  MatD mixed = testing::random_matrix(n, 6, rng, 1e-3);
+  mixed += a;
+  const MatD fresh = testing::random_matrix(n, 5, rng);
+
+  IncrementalCompressor blocked(n, 1e-13, CompressorMode::kBlocked);
+  IncrementalCompressor reference(n, 1e-13, CompressorMode::kReference);
+  for (auto* comp : {&blocked, &reference}) {
+    comp->add_columns(a);
+    comp->add_columns(mixed);
+    comp->add_columns(fresh);
+  }
+  EXPECT_EQ(blocked.rank(), reference.rank());
+  EXPECT_EQ(blocked.columns_absorbed(), reference.columns_absorbed());
+
+  const auto sb = blocked.singular_values();
+  const auto sr = reference.singular_values();
+  ASSERT_EQ(sb.size(), sr.size());
+  for (std::size_t i = 0; i < sb.size(); ++i) EXPECT_NEAR(sb[i], sr[i], 1e-9 * (1.0 + sb[0]));
+
+  // Dominant subspaces coincide: principal-angle cosines of the two order-6
+  // bases are all ~1.
+  const MatD vb = blocked.basis(6);
+  const MatD vr = reference.basis(6);
+  EXPECT_LT(testing::orthonormality_defect(vb), 1e-11);
+  const auto cosines = la::singular_values(la::matmul_at(vb, vr));
+  ASSERT_FALSE(cosines.empty());
+  EXPECT_GT(cosines.back(), 1.0 - 1e-8);
+}
+
+TEST(Compressor, FullyDeflatedBlockAddsNoRank) {
+  Rng rng(67);
+  const la::index n = 30;
+  const MatD a = testing::random_matrix(n, 5, rng);
+  IncrementalCompressor comp(n, 1e-10, CompressorMode::kBlocked);
+  const double first = comp.add_columns(a);
+  EXPECT_GT(first, 0.0);
+  const la::index rank_before = comp.rank();
+
+  // Exact linear combinations of absorbed columns: residual is roundoff,
+  // the early-exit path skips the factorization, and rank must not move.
+  MatD combo(n, 4);
+  for (la::index j = 0; j < combo.cols(); ++j)
+    for (la::index i = 0; i < n; ++i)
+      combo(i, j) = a(i, j % a.cols()) + 0.5 * a(i, (j + 1) % a.cols());
+  const double res = comp.add_columns(combo);
+  EXPECT_EQ(comp.rank(), rank_before);
+  EXPECT_LT(res, 1e-10 * la::norm_fro(combo));
+  EXPECT_EQ(comp.columns_absorbed(), 9);
+}
+
 }  // namespace
 }  // namespace pmtbr::mor

@@ -8,9 +8,11 @@ temporaries belong outside the lambda (hoisted, or per-thread), and
 results land in pre-sized storage — which is exactly how parallel_map is
 built. Sanctioned exceptions are allowlisted with a justification.
 
-The check finds each ``parallel_for(...)`` / ``parallel_map<...>(...)``
-call in src/, brace-matches the lambda argument's body, and flags
-allocation expressions inside it.
+The check finds each ``parallel_for(...)`` / ``parallel_map<...>(...)`` /
+``parallel_try_map<...>(...)`` call in src/, brace-matches the lambda
+argument's body, and flags allocation expressions inside it — including
+``Matrix`` declarations, whose storage is a heap-backed vector (the GEMM /
+TSQR kernels pack into caller-allocated buffers for exactly this reason).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ import re
 
 from analyze import lexer, registry
 
-CALL_RE = re.compile(r"\bparallel_(?:for|map)\b")
+CALL_RE = re.compile(r"\bparallel_(?:for|map|try_map)\b")
 
 ALLOC_RES = [
     (re.compile(r"\bnew\b(?!\s*\()"), "new"),
@@ -33,6 +35,12 @@ ALLOC_RES = [
     (re.compile(r"\.\s*reserve\s*\("), "reserve"),
     (re.compile(r"\.\s*push_back\s*\("), "push_back"),
     (re.compile(r"\.\s*emplace_back\s*\("), "emplace_back"),
+    # A Matrix object owns a heap vector, so declaring one per index is an
+    # allocation too. References (Matrix<T>& / const MatD&) bind existing
+    # storage and do not match: the type must be followed by whitespace and
+    # a declarator, not by &/*.
+    (re.compile(r"\b(?:la::)?(?:Matrix\s*<[^<>;(){}&]*>|MatD|MatC)\s+[A-Za-z_]\w*\s*[({=;]"),
+     "matrix-decl"),
 ]
 
 # The pool implementation itself allocates (job state, queued

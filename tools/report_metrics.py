@@ -124,6 +124,9 @@ def validate_timing(path: Path, data: dict) -> list[str]:
         for i, r in enumerate(records):
             if not isinstance(r, dict) or "label" not in r or "wall_seconds" not in r:
                 errors.append(f"records[{i}] lacks label/wall_seconds")
+            elif "gflops" in r and (not isinstance(r["gflops"], (int, float))
+                                    or isinstance(r["gflops"], bool) or r["gflops"] < 0):
+                errors.append(f"records[{i}].gflops must be a nonnegative number")
     return [f"{path}: {e}" for e in errors]
 
 
@@ -165,6 +168,8 @@ def show_timing(data: dict) -> None:
     print(f"bench: {data['bench']}")
     for r in data["records"]:
         extras = "  ".join(f"{k}={r[k]}" for k in ("n", "samples", "threads") if k in r)
+        if r.get("gflops"):
+            extras += f"  {r['gflops']:.2f} GF/s"
         print(f"  {r['label']:<40}  {r['wall_seconds']:>10.4f}s  {extras}")
 
 

@@ -215,6 +215,48 @@ class AllocInParallelTest(unittest.TestCase):
             repo = make_repo(Path(d), {"src/util/thread_pool.cpp": code})
             self.assertEqual(run_check(repo, "alloc-in-parallel"), [])
 
+    def test_try_map_body_covered(self):
+        code = (
+            "void f() {\n"
+            "  auto outcomes = util::parallel_try_map<Outcome>(count, [&](index i) {\n"
+            "    auto buf = std::make_unique<Buf>();\n"
+            "    return sample(sys, eff[i], *buf);\n"
+            "  });\n"
+            "}\n")
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {"src/mor/bad.cpp": code})
+            found = run_check(repo, "alloc-in-parallel")
+            self.assertEqual([f.token for f in found], ["make_unique"])
+            self.assertEqual(found[0].line_no, 3)
+
+    def test_matrix_declaration_inside_body_flagged(self):
+        code = (
+            "void f() {\n"
+            "  util::parallel_for(0, leaves, [&](index i) {\n"
+            "    Matrix<T> s(2 * n, n);\n"
+            "    MatD w(jb, ntrail);\n"
+            "    combine(s, w);\n"
+            "  });\n"
+            "}\n")
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {"src/la/bad.cpp": code})
+            found = run_check(repo, "alloc-in-parallel")
+            self.assertEqual([f.token for f in found], ["matrix-decl", "matrix-decl"])
+            self.assertEqual([f.line_no for f in found], [3, 4])
+
+    def test_matrix_reference_binding_clean(self):
+        code = (
+            "void f() {\n"
+            "  util::parallel_for(0, pairs, [&](index p) {\n"
+            "    const Matrix<T>& top = stacks[p];\n"
+            "    la::MatD* out = &slots[p];\n"
+            "    factor(top, out);\n"
+            "  });\n"
+            "}\n")
+        with tempfile.TemporaryDirectory() as d:
+            repo = make_repo(Path(d), {"src/la/ok.cpp": code})
+            self.assertEqual(run_check(repo, "alloc-in-parallel"), [])
+
 
 class CounterDisciplineTest(unittest.TestCase):
     def test_raw_array_and_default_ordering_flagged(self):
