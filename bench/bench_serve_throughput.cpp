@@ -1,0 +1,191 @@
+// Serving-layer throughput bench: a fixed batch of generator-built
+// reduction jobs pushed through ReductionService at several runner counts.
+// Reports jobs/sec and p50/p99 queue/run latency per sweep point.
+//
+// Artifacts: bench_out/BENCH_serve_throughput.json carries the standard
+// timing records plus a "serve" array (one entry per runner count) with
+// jobs_per_second, latency percentiles, and the outcome partition;
+// MANIFEST_serve_throughput.json carries the serve_extra() section from the
+// last sweep. Both are validated by tools/report_metrics.py in CI.
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "circuit/generators.hpp"
+#include "serve/service.hpp"
+#include "util/obs/counters.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace pmtbr;
+using la::index;
+
+constexpr int kBatch = 40;
+
+serve::JobRequest make_job(Rng& rng, int i) {
+  serve::JobRequest req;
+  req.name = "bench-" + std::to_string(i);
+  req.system = circuit::make_rc_line(
+      {.segments = static_cast<index>(rng.uniform_int(30, 90))});
+  req.options.num_samples = static_cast<index>(rng.uniform_int(12, 32));
+  req.priority = static_cast<serve::Priority>(rng.uniform_int(0, 2));
+  return req;
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double pos = p * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+struct SweepPoint {
+  int runners = 0;
+  int jobs = 0;
+  double wall_seconds = 0.0;
+  double jobs_per_second = 0.0;
+  double queue_p50 = 0.0, queue_p99 = 0.0;
+  double run_p50 = 0.0, run_p99 = 0.0;
+  serve::ServiceStats stats;
+};
+
+SweepPoint run_sweep(int runners) {
+  // Rebuild the batch per sweep so every runner count reduces the same set
+  // of systems (the rng stream is a pure function of the seed).
+  Rng rng(7);
+  serve::ReductionService svc({.runners = runners, .max_queue = kBatch});
+  WallTimer timer;
+  std::vector<serve::JobId> ids;
+  ids.reserve(kBatch);
+  for (int i = 0; i < kBatch; ++i) {
+    auto id = svc.submit(make_job(rng, i));
+    if (id.is_ok()) ids.push_back(id.value());
+  }
+  const auto results = svc.drain();
+  SweepPoint pt;
+  pt.runners = runners;
+  pt.jobs = static_cast<int>(ids.size());
+  pt.wall_seconds = timer.seconds();
+  pt.jobs_per_second =
+      pt.wall_seconds > 0 ? static_cast<double>(pt.jobs) / pt.wall_seconds : 0.0;
+  std::vector<double> queue_lat, run_lat;
+  for (const auto& [id, res] : results) {
+    queue_lat.push_back(res.queue_seconds);
+    run_lat.push_back(res.run_seconds);
+  }
+  pt.queue_p50 = percentile(queue_lat, 0.50);
+  pt.queue_p99 = percentile(queue_lat, 0.99);
+  pt.run_p50 = percentile(run_lat, 0.50);
+  pt.run_p99 = percentile(run_lat, 0.99);
+  pt.stats = svc.stats();
+  return pt;
+}
+
+std::string write_artifact(const std::vector<SweepPoint>& sweep) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_out", ec);
+  if (ec) return {};
+  const std::string path = "bench_out/BENCH_serve_throughput.json";
+  std::ofstream out(path);
+  if (!out) return {};
+  obs::JsonWriter w(out);
+  w.begin_object();
+  w.key("bench");
+  w.value("serve_throughput");
+  w.key("records");
+  w.begin_array();
+  for (const auto& pt : sweep) {
+    w.begin_object();
+    w.key("label");
+    w.value("serve_runners=" + std::to_string(pt.runners));
+    w.key("wall_seconds");
+    w.value(pt.wall_seconds);
+    w.key("n");
+    w.value(static_cast<std::int64_t>(pt.jobs));
+    w.key("samples");
+    w.value(std::int64_t{0});
+    w.key("threads");
+    w.value(pt.runners);
+    w.key("gflops");
+    w.value(0.0);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("serve");
+  w.begin_array();
+  for (const auto& pt : sweep) {
+    w.begin_object();
+    w.key("runners");
+    w.value(pt.runners);
+    w.key("jobs");
+    w.value(pt.jobs);
+    w.key("jobs_per_second");
+    w.value(pt.jobs_per_second);
+    w.key("queue_seconds");
+    w.begin_object();
+    w.key("p50");
+    w.value(pt.queue_p50);
+    w.key("p99");
+    w.value(pt.queue_p99);
+    w.end_object();
+    w.key("run_seconds");
+    w.begin_object();
+    w.key("p50");
+    w.value(pt.run_p50);
+    w.key("p99");
+    w.value(pt.run_p99);
+    w.end_object();
+    w.key("outcomes");
+    w.begin_object();
+    w.key("completed");
+    w.value(pt.stats.completed);
+    w.key("failed");
+    w.value(pt.stats.failed);
+    w.key("cancelled");
+    w.value(pt.stats.cancelled);
+    w.key("expired");
+    w.value(pt.stats.expired);
+    w.key("rejected");
+    w.value(pt.stats.rejected);
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  w.done();
+  return path;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("serve_throughput",
+                "batched reduction service: jobs/sec and latency percentiles "
+                "vs. runner count");
+  obs::reset_counters();
+
+  std::vector<SweepPoint> sweep;
+  std::cout << "runners,jobs,wall_seconds,jobs_per_sec,queue_p50,queue_p99,"
+               "run_p50,run_p99,completed\n";
+  for (const int runners : {1, 2, 4}) {
+    const SweepPoint pt = run_sweep(runners);
+    sweep.push_back(pt);
+    std::cout << pt.runners << "," << pt.jobs << "," << pt.wall_seconds << ","
+              << pt.jobs_per_second << "," << pt.queue_p50 << "," << pt.queue_p99
+              << "," << pt.run_p50 << "," << pt.run_p99 << ","
+              << pt.stats.completed << "\n";
+  }
+
+  const std::string artifact = write_artifact(sweep);
+  if (!artifact.empty()) bench::note("timing artifact: " + artifact);
+  bench::write_run_manifest("serve_throughput", {serve::serve_extra(sweep.back().stats)});
+  return 0;
+}

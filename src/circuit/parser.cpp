@@ -172,4 +172,23 @@ Netlist parse_netlist_string(const std::string& text) {
   return parse_netlist(is);
 }
 
+util::Expected<DescriptorSystem> try_assemble_netlist(const std::string& text) {
+  Netlist nl;
+  try {
+    nl = parse_netlist_string(text);
+  } catch (const std::exception& e) {
+    return util::Status(util::ErrorCode::kInvalidInput, e.what());
+  }
+  if (nl.num_ports() == 0)
+    return util::Status(util::ErrorCode::kInvalidInput,
+                        "netlist defines no ports (.port card required)");
+  if (nl.num_nodes() == 0)
+    return util::Status(util::ErrorCode::kInvalidInput, "netlist defines no nodes");
+  try {
+    return assemble_mna(nl);
+  } catch (const std::exception& e) {
+    return util::Status(util::ErrorCode::kInvalidInput, e.what());
+  }
+}
+
 }  // namespace pmtbr::circuit

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "circuit/netlist.hpp"
+#include "util/status.hpp"
 
 namespace pmtbr::circuit {
 
@@ -29,5 +30,11 @@ Netlist parse_netlist_string(const std::string& text);
 /// Parses one engineering-notation value ("1.5p", "2MEG", "4.7"); throws on
 /// malformed input. Exposed for tests.
 double parse_value(const std::string& token);
+
+/// Status-carrying parse + MNA assembly for serving-layer job construction
+/// (docs/SERVING.md): netlist text arrives from untrusted clients, so
+/// malformed cards and portless netlists travel as kInvalidInput instead of
+/// exceptions — the service rejects the job without touching the batch.
+util::Expected<DescriptorSystem> try_assemble_netlist(const std::string& text);
 
 }  // namespace pmtbr::circuit

@@ -245,7 +245,7 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
                                const PmtbrOptions& opts) {
   PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
   PMTBR_TRACE_SCOPE("pmtbr");
-  IncrementalCompressor comp(sys.n());
+  IncrementalCompressor comp(sys.n(), 1e-13, opts.compressor);
   PmtbrResult out;
   DegradeState st;
 
@@ -267,10 +267,20 @@ PmtbrResult pmtbr_with_samples(const DescriptorSystem& sys,
         adaptive ? std::max<index>(index{1}, 2 * util::global_pool().size()) : total;
     bool stopped = false;
     for (index base = 0; base < total && !stopped; base += window) {
+      // Cancellation checkpoint: abort between windows (and, via the token
+      // handed to parallel_try_map, skip not-yet-started tasks inside the
+      // window) before any degradation bookkeeping or absorption happens —
+      // a cancelled run produces no result and no partial report.
+      opts.cancel.throw_if_cancelled();
       const index count = std::min<index>(window, total - base);
-      auto outcomes = util::parallel_try_map<SampleOutcome>(count, [&](index i) {
-        return try_sample_block(sys, eff[static_cast<std::size_t>(base + i)], opts.resilience);
-      });
+      auto outcomes = util::parallel_try_map<SampleOutcome>(
+          count,
+          [&](index i) {
+            return try_sample_block(sys, eff[static_cast<std::size_t>(base + i)],
+                                    opts.resilience);
+          },
+          opts.cancel);
+      opts.cancel.throw_if_cancelled();
       const std::vector<index> survivors = degrade_window(outcomes, eff, base, st);
       for (index k : survivors) {
         comp.add_columns(outcomes[static_cast<std::size_t>(k)].value().block);
@@ -318,7 +328,7 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
   PMTBR_REQUIRE(aopts.max_samples >= aopts.initial_samples, "budget below initial samples");
   PMTBR_TRACE_SCOPE("pmtbr_adaptive");
 
-  IncrementalCompressor comp(sys.n());
+  IncrementalCompressor comp(sys.n(), 1e-13, opts.compressor);
   PmtbrResult out;
   DegradeState st;
 
@@ -334,6 +344,9 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
   double max_block_norm = 0.0;
 
   const auto absorb = [&](double f_hz, double width_hz) {
+    // Cancellation checkpoint: the bisection loop is serial, so between-
+    // absorption polls bound the overrun to one shifted solve.
+    opts.cancel.throw_if_cancelled();
     FrequencySample fs{cd(0.0, 2.0 * std::numbers::pi * f_hz), 2.0 * std::numbers::pi * width_hz};
     ++st.report.samples_attempted;
     st.attempted_w += fs.weight;
@@ -406,18 +419,23 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
 
 std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
                                            const std::vector<FrequencySample>& samples,
-                                           const std::vector<index>& orders) {
+                                           const std::vector<index>& orders,
+                                           const PmtbrOptions& opts) {
   PMTBR_REQUIRE(!samples.empty(), "need at least one frequency sample");
   PMTBR_REQUIRE(!orders.empty(), "need at least one order");
   PMTBR_TRACE_SCOPE("pmtbr_order_sweep");
-  IncrementalCompressor comp(sys.n());
-  const ResilienceOptions resilience{};
+  IncrementalCompressor comp(sys.n(), 1e-13, opts.compressor);
+  const ResilienceOptions& resilience = opts.resilience;
   DegradeState st;
+  opts.cancel.throw_if_cancelled();
   prepare_resilient(sys, samples);
   auto outcomes = util::parallel_try_map<SampleOutcome>(
-      static_cast<index>(samples.size()), [&](index i) {
+      static_cast<index>(samples.size()),
+      [&](index i) {
         return try_sample_block(sys, samples[static_cast<std::size_t>(i)], resilience);
-      });
+      },
+      opts.cancel);
+  opts.cancel.throw_if_cancelled();
   const std::vector<index> survivors = degrade_window(outcomes, samples, 0, st);
   std::vector<FrequencySample> used;
   used.reserve(survivors.size());

@@ -16,8 +16,10 @@
 #include <utility>
 #include <vector>
 
+#include "mor/compressor.hpp"
 #include "mor/sampling.hpp"
 #include "mor/state_space.hpp"
+#include "util/cancel.hpp"
 #include "util/status.hpp"
 
 namespace pmtbr::mor {
@@ -92,6 +94,17 @@ struct PmtbrOptions {
 
   /// Per-sample failure handling (retry / regularize / drop / floor).
   ResilienceOptions resilience;
+
+  /// Sample-matrix absorption path (kBlocked default; kReference is the
+  /// per-column oracle). Both yield the same subspace; the differential
+  /// suite asserts end-to-end agreement through the service path.
+  CompressorMode compressor = CompressorMode::kBlocked;
+
+  /// Cooperative cancellation (docs/SERVING.md): polled between sampling
+  /// windows / absorptions; a fired token aborts the run with
+  /// StatusError(kCancelled or kDeadlineExceeded) before any result or
+  /// degradation report is produced. The default token is inert.
+  util::CancelToken cancel;
 };
 
 struct PmtbrResult {
@@ -130,10 +143,13 @@ PmtbrResult pmtbr_adaptive(const DescriptorSystem& sys, const AdaptiveOptions& a
 
 /// Order sweep sharing one sampling + compression pass: returns one result
 /// per requested order (clamped to the available rank). Far cheaper than
-/// calling pmtbr_with_samples per order in benches and studies.
+/// calling pmtbr_with_samples per order in benches and studies. Only the
+/// resilience / compressor / cancel fields of `opts` apply (order selection
+/// comes from `orders`).
 std::vector<PmtbrResult> pmtbr_order_sweep(const DescriptorSystem& sys,
                                            const std::vector<FrequencySample>& samples,
-                                           const std::vector<index>& orders);
+                                           const std::vector<index>& orders,
+                                           const PmtbrOptions& opts = {});
 
 /// Convenience alias emphasizing Algorithm 2 usage.
 inline PmtbrResult pmtbr_frequency_selective(const DescriptorSystem& sys,

@@ -1,0 +1,19 @@
+#include "serve/job.hpp"
+
+#include "circuit/parser.hpp"
+
+namespace pmtbr::serve {
+
+util::Expected<JobRequest> job_from_netlist(const std::string& netlist_text,
+                                            const mor::PmtbrOptions& options,
+                                            const std::string& name) {
+  auto sys = circuit::try_assemble_netlist(netlist_text);
+  if (!sys.is_ok()) return sys.status();
+  JobRequest req;
+  req.name = name;
+  req.system = std::move(sys).value();
+  req.options = options;
+  return req;
+}
+
+}  // namespace pmtbr::serve

@@ -1,0 +1,85 @@
+// Job vocabulary for the batched reduction service (docs/SERVING.md).
+//
+// A JobRequest bundles everything one reduction needs — the system (built
+// directly or from netlist text), the method and its options, a scheduling
+// priority, and an optional deadline relative to submission. A JobResult is
+// the job's single terminal record: exactly one outcome, the Status that
+// explains it, and the queue/run latencies the obs layer aggregates.
+#pragma once
+
+#include <chrono>
+#include <string>
+
+#include "circuit/descriptor.hpp"
+#include "mor/pmtbr.hpp"
+#include "util/status.hpp"
+
+namespace pmtbr::serve {
+
+using la::index;
+
+/// Reduction method the job runs. Both share the sampling pipeline and its
+/// degradation / cancellation machinery.
+enum class Method {
+  kPmtbr,          // fixed sample grid per JobRequest::options
+  kPmtbrAdaptive,  // greedy bisection per JobRequest::adaptive
+};
+
+/// Scheduling priority; higher runs first. Ties break by earliest deadline,
+/// then submission order, so scheduling is deterministic for a fixed queue.
+enum class Priority : int { kLow = 0, kNormal = 1, kHigh = 2 };
+
+struct JobRequest {
+  std::string name = "job";  // client label, surfaced in logs/manifests
+  DescriptorSystem system;
+  Method method = Method::kPmtbr;
+  mor::PmtbrOptions options;
+  mor::AdaptiveOptions adaptive;  // consulted only for kPmtbrAdaptive
+  Priority priority = Priority::kNormal;
+  /// Deadline relative to submission; zero means none. Enforced both while
+  /// queued (the job expires instead of starting) and while running (the
+  /// sampling loops poll the armed CancelToken between windows).
+  std::chrono::nanoseconds deadline{0};
+};
+
+/// Builds a JobRequest from SPICE-like netlist text (circuit::parse +
+/// assemble_mna). Malformed or portless netlists come back as
+/// kInvalidInput — the caller rejects the job without poisoning the batch.
+util::Expected<JobRequest> job_from_netlist(const std::string& netlist_text,
+                                            const mor::PmtbrOptions& options = {},
+                                            const std::string& name = "netlist");
+
+/// Terminal states. Every admitted job reaches exactly one; rejected
+/// submissions never become jobs (submit() returns kOverloaded instead).
+enum class JobOutcome : int {
+  kCompleted = 0,  // produced a reduction
+  kFailed,         // ran and failed (coverage floor, bad options, ...)
+  kCancelled,      // cancel() before or during execution
+  kExpired,        // deadline passed while queued or mid-run
+  kCount           // sentinel; keep last
+};
+
+/// Stable snake_case name ("completed", ...), for logs and manifests.
+constexpr const char* job_outcome_name(JobOutcome o) noexcept {
+  switch (o) {
+    case JobOutcome::kCompleted: return "completed";
+    case JobOutcome::kFailed: return "failed";
+    case JobOutcome::kCancelled: return "cancelled";
+    case JobOutcome::kExpired: return "expired";
+    case JobOutcome::kCount: break;
+  }
+  return "unknown";
+}
+
+struct JobResult {
+  JobOutcome outcome = JobOutcome::kFailed;
+  util::Status status;         // OK for kCompleted; the reason otherwise
+  mor::PmtbrResult reduction;  // populated only for kCompleted
+  double queue_seconds = 0.0;  // submission -> start (or terminal, if never started)
+  double run_seconds = 0.0;    // start -> terminal; 0 when the job never ran
+  /// Global start order assigned at dequeue (1, 2, ...); 0 when the job
+  /// never started. Lets tests and clients audit scheduling decisions.
+  std::uint64_t start_sequence = 0;
+};
+
+}  // namespace pmtbr::serve

@@ -1,0 +1,294 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+#include "util/obs/counters.hpp"
+#include "util/obs/json.hpp"
+#include "util/obs/trace.hpp"
+
+namespace pmtbr::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::duration<double>>(to - from).count();
+}
+
+std::int64_t nanos_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+}
+
+obs::Counter outcome_counter(JobOutcome o) {
+  switch (o) {
+    case JobOutcome::kCompleted: return obs::Counter::kServeJobsCompleted;
+    case JobOutcome::kFailed: return obs::Counter::kServeJobsFailed;
+    case JobOutcome::kCancelled: return obs::Counter::kServeJobsCancelled;
+    case JobOutcome::kExpired: return obs::Counter::kServeJobsExpired;
+    case JobOutcome::kCount: break;
+  }
+  return obs::Counter::kServeJobsFailed;
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> serve_extra(const ServiceStats& stats) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("submitted");
+  w.value(stats.submitted);
+  w.key("completed");
+  w.value(stats.completed);
+  w.key("failed");
+  w.value(stats.failed);
+  w.key("cancelled");
+  w.value(stats.cancelled);
+  w.key("expired");
+  w.value(stats.expired);
+  w.key("rejected");
+  w.value(stats.rejected);
+  w.key("queue_seconds");
+  w.value(stats.queue_seconds);
+  w.key("run_seconds");
+  w.value(stats.run_seconds);
+  w.end_object();
+  return {"serve", os.str()};
+}
+
+ReductionService::ReductionService(ServiceOptions opts) : opts_(opts) {
+  PMTBR_REQUIRE(opts_.runners >= 1, "service needs at least one runner thread");
+  PMTBR_REQUIRE(opts_.max_queue >= 1, "admission queue must hold at least one job");
+  runners_.reserve(static_cast<std::size_t>(opts_.runners));
+  for (int t = 0; t < opts_.runners; ++t)
+    runners_.emplace_back([this] { runner_loop(); });
+}
+
+ReductionService::~ReductionService() {
+  {
+    const auto now = Clock::now();
+    util::MutexLock lock(mutex_);
+    stop_ = true;
+    // Queued jobs finalize as cancelled here; running jobs get a cancel
+    // request and wind down at their next sampling checkpoint, after which
+    // their runner finalizes them normally.
+    for (auto& job : queue_) {
+      --stats_.queued;
+      finalize_locked(*job, JobOutcome::kCancelled,
+                      util::Status(util::ErrorCode::kCancelled, "service shut down"), now);
+    }
+    queue_.clear();
+    for (auto& [id, job] : jobs_)
+      if (job->state == JobState::kRunning) job->token.request_cancel();
+  }
+  work_cv_.notify_all();
+  for (auto& t : runners_) t.join();
+}
+
+util::Expected<JobId> ReductionService::submit(JobRequest req) {
+  const auto now = Clock::now();
+  auto job = std::make_shared<Job>();
+  job->req = std::move(req);
+  job->submitted_at = now;
+  if (job->req.deadline.count() > 0) {
+    job->has_deadline = true;
+    job->deadline_at = now + job->req.deadline;
+  }
+
+  util::MutexLock lock(mutex_);
+  ++stats_.submitted;
+  obs::counter_add(obs::Counter::kServeJobsSubmitted);
+  if (stop_) {
+    ++stats_.rejected;
+    obs::counter_add(obs::Counter::kServeJobsRejected);
+    return util::Status(util::ErrorCode::kCancelled, "service shutting down");
+  }
+  if (static_cast<index>(queue_.size()) >= opts_.max_queue) {
+    ++stats_.rejected;
+    obs::counter_add(obs::Counter::kServeJobsRejected);
+    return util::Status(util::ErrorCode::kOverloaded, "admission queue full")
+        .with_detail(static_cast<std::ptrdiff_t>(queue_.size()),
+                     static_cast<double>(opts_.max_queue));
+  }
+  const JobId id = next_id_++;
+  job->id = id;
+  jobs_.emplace(id, job);
+  queue_.push_back(std::move(job));
+  ++stats_.queued;
+  work_cv_.notify_one();
+  return id;
+}
+
+bool ReductionService::cancel(JobId id) {
+  const auto now = Clock::now();
+  util::MutexLock lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  Job& job = *it->second;
+  if (job.state == JobState::kDone) return false;
+  job.token.request_cancel();
+  if (job.state == JobState::kQueued) {
+    queue_.erase(std::remove_if(queue_.begin(), queue_.end(),
+                                [&](const std::shared_ptr<Job>& q) { return q->id == id; }),
+                 queue_.end());
+    --stats_.queued;
+    finalize_locked(job, JobOutcome::kCancelled,
+                    util::Status(util::ErrorCode::kCancelled, "cancelled while queued"), now);
+  }
+  return true;
+}
+
+JobResult ReductionService::wait(JobId id) {
+  util::UniqueLock lock(mutex_);
+  const auto it = jobs_.find(id);
+  PMTBR_REQUIRE(it != jobs_.end(), "wait() on unknown job id");
+  const std::shared_ptr<Job> job = it->second;
+  while (job->state != JobState::kDone) done_cv_.wait(lock);
+  return job->result;
+}
+
+std::vector<std::pair<JobId, JobResult>> ReductionService::drain() {
+  std::vector<JobId> ids;
+  {
+    util::MutexLock lock(mutex_);
+    ids.reserve(jobs_.size());
+    for (const auto& [id, job] : jobs_) ids.push_back(id);
+  }
+  std::vector<std::pair<JobId, JobResult>> out;
+  out.reserve(ids.size());
+  for (const JobId id : ids) out.emplace_back(id, wait(id));
+  return out;
+}
+
+ServiceStats ReductionService::stats() const {
+  util::MutexLock lock(mutex_);
+  return stats_;
+}
+
+std::shared_ptr<ReductionService::Job> ReductionService::pop_best_locked() {
+  PMTBR_DEBUG_ASSERT(!queue_.empty(), "pop on empty queue");
+  auto best = queue_.begin();
+  for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+    const Job& a = **it;
+    const Job& b = **best;
+    if (static_cast<int>(a.req.priority) != static_cast<int>(b.req.priority)) {
+      if (static_cast<int>(a.req.priority) > static_cast<int>(b.req.priority)) best = it;
+      continue;
+    }
+    // Same priority: earliest deadline first (none sorts last), then
+    // submission order via the monotonically assigned id.
+    if (a.has_deadline != b.has_deadline) {
+      if (a.has_deadline) best = it;
+      continue;
+    }
+    if (a.has_deadline && a.deadline_at != b.deadline_at) {
+      if (a.deadline_at < b.deadline_at) best = it;
+      continue;
+    }
+    if (a.id < b.id) best = it;
+  }
+  std::shared_ptr<Job> job = std::move(*best);
+  queue_.erase(best);
+  return job;
+}
+
+void ReductionService::finalize_locked(Job& job, JobOutcome outcome, util::Status status,
+                                       Clock::time_point now) {
+  JobResult& r = job.result;
+  r.outcome = outcome;
+  r.status = std::move(status);
+  if (r.start_sequence == 0) {
+    // Never started: the whole lifetime was queue wait.
+    r.queue_seconds = seconds_between(job.submitted_at, now);
+    obs::counter_add(obs::Counter::kServeQueueNanos, nanos_between(job.submitted_at, now));
+  }
+  job.state = JobState::kDone;
+  switch (outcome) {
+    case JobOutcome::kCompleted: ++stats_.completed; break;
+    case JobOutcome::kFailed: ++stats_.failed; break;
+    case JobOutcome::kCancelled: ++stats_.cancelled; break;
+    case JobOutcome::kExpired: ++stats_.expired; break;
+    case JobOutcome::kCount: break;
+  }
+  stats_.queue_seconds += r.queue_seconds;
+  stats_.run_seconds += r.run_seconds;
+  obs::counter_add(outcome_counter(outcome));
+  if (outcome != JobOutcome::kCompleted)
+    log_debug("serve: job ", job.id, " (", job.req.name, ") -> ", job_outcome_name(outcome),
+              " (", r.status.to_string(), ")");
+  done_cv_.notify_all();
+}
+
+void ReductionService::runner_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      util::UniqueLock lock(mutex_);
+      while (job == nullptr) {
+        while (!stop_ && queue_.empty()) work_cv_.wait(lock);
+        if (queue_.empty()) return;  // stopping and drained
+        job = pop_best_locked();
+        --stats_.queued;
+        const auto now = Clock::now();
+        if (job->has_deadline && now >= job->deadline_at) {
+          finalize_locked(*job, JobOutcome::kExpired,
+                          util::Status(util::ErrorCode::kDeadlineExceeded,
+                                       "deadline expired while queued"),
+                          now);
+          job.reset();
+          continue;
+        }
+        job->state = JobState::kRunning;
+        ++stats_.running;
+        job->result.start_sequence = next_start_seq_++;
+        job->result.queue_seconds = seconds_between(job->submitted_at, now);
+        obs::counter_add(obs::Counter::kServeQueueNanos,
+                         nanos_between(job->submitted_at, now));
+        if (job->has_deadline) job->token.set_deadline(job->deadline_at);
+      }
+    }
+
+    // Execute outside the lock: the runner owns req/result exclusively
+    // while kRunning. Within-job parallelism fans out on the global pool.
+    const auto started = Clock::now();
+    JobOutcome outcome = JobOutcome::kFailed;
+    util::Status status;
+    {
+      PMTBR_TRACE_SCOPE("serve.job");
+      try {
+        mor::PmtbrOptions options = job->req.options;
+        options.cancel = job->token;
+        job->result.reduction =
+            job->req.method == Method::kPmtbrAdaptive
+                ? mor::pmtbr_adaptive(job->req.system, job->req.adaptive, options)
+                : mor::pmtbr(job->req.system, options);
+        outcome = JobOutcome::kCompleted;
+        status = util::Status::ok();
+      } catch (const util::StatusError& e) {
+        status = e.status();
+        // The token distinguishes an explicit cancel from a deadline; any
+        // other StatusError (coverage floor, ...) is an ordinary failure.
+        outcome = status.code() == util::ErrorCode::kCancelled ? JobOutcome::kCancelled
+                  : status.code() == util::ErrorCode::kDeadlineExceeded
+                      ? JobOutcome::kExpired
+                      : JobOutcome::kFailed;
+      } catch (const std::exception& e) {
+        status = util::Status(util::ErrorCode::kUnhandledException, e.what());
+        outcome = JobOutcome::kFailed;
+      }
+    }
+    const auto finished = Clock::now();
+    job->result.run_seconds = seconds_between(started, finished);
+    obs::counter_add(obs::Counter::kServeRunNanos, nanos_between(started, finished));
+
+    util::MutexLock lock(mutex_);
+    --stats_.running;
+    finalize_locked(*job, outcome, std::move(status), finished);
+  }
+}
+
+}  // namespace pmtbr::serve

@@ -1,0 +1,100 @@
+// Cooperative cancellation for long-running reductions (docs/SERVING.md).
+//
+// A CancelToken is a copyable handle to shared cancellation state. The
+// serving layer hands one token to each job; the sampling loops in
+// mor::pmtbr / mor::pmtbr_adaptive poll it between windows and abort with
+// the matching Status (kCancelled for an explicit request, kDeadlineExceeded
+// once the armed deadline passes). util::parallel_try_map also accepts a
+// token: tasks that have not started when the token fires are skipped,
+// leaving their default Expected slot (kCancelled, "task never ran").
+//
+// A default-constructed token is inert — it owns no state, never reports
+// cancellation, and costs one null-pointer test per poll — so library code
+// can poll unconditionally.
+//
+// Cancellation is strictly cooperative: requesting it never interrupts a
+// running solve; the run winds down at the next poll point. Both the flag
+// and the deadline live in atomics, so request_cancel() / polls need no
+// lock and are safe from any thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+
+#include "util/status.hpp"
+
+namespace pmtbr::util {
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, no shared state.
+  CancelToken() = default;
+
+  /// A token with live shared state; copies observe the same state.
+  static CancelToken make() {
+    CancelToken t;
+    t.state_ = std::make_shared<State>();
+    return t;
+  }
+
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Requests cooperative cancellation. Safe from any thread; idempotent.
+  /// No-op on an inert token.
+  void request_cancel() const noexcept {
+    if (state_) state_->cancelled.store(true, std::memory_order_release);
+  }
+
+  /// Arms (or re-arms) an absolute deadline; the token reports
+  /// kDeadlineExceeded once steady_clock passes it. No-op on an inert token.
+  void set_deadline(std::chrono::steady_clock::time_point deadline) const noexcept {
+    if (state_)
+      state_->deadline_ns.store(deadline.time_since_epoch().count(),
+                                std::memory_order_release);
+  }
+
+  /// True iff request_cancel() was called (deadline not considered).
+  bool cancel_requested() const noexcept {
+    return state_ && state_->cancelled.load(std::memory_order_acquire);
+  }
+
+  /// True iff a deadline is armed and has passed.
+  bool deadline_passed() const noexcept {
+    if (!state_) return false;
+    const std::int64_t d = state_->deadline_ns.load(std::memory_order_acquire);
+    return d != 0 &&
+           std::chrono::steady_clock::now().time_since_epoch().count() >= d;
+  }
+
+  /// True iff the run should stop (explicit request or expired deadline).
+  bool cancelled() const noexcept { return cancel_requested() || deadline_passed(); }
+
+  /// OK while live; kCancelled after an explicit request (which wins over a
+  /// simultaneously expired deadline); kDeadlineExceeded past the deadline.
+  Status check() const {
+    if (cancel_requested()) return Status(ErrorCode::kCancelled, "cancellation requested");
+    if (deadline_passed())
+      return Status(ErrorCode::kDeadlineExceeded, "deadline exceeded");
+    return Status::ok();
+  }
+
+  /// Poll point for the sampling loops: throws StatusError on cancellation.
+  void throw_if_cancelled() const {
+    Status st = check();
+    if (!st.is_ok()) throw StatusError(std::move(st));
+  }
+
+ private:
+  struct State {
+    std::atomic<bool> cancelled{false};
+    // steady_clock rep of the armed deadline; 0 = none. std::chrono here is
+    // the deadline's representation, not ad-hoc timing (allowlisted).
+    std::atomic<std::int64_t> deadline_ns{0};
+  };
+
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace pmtbr::util

@@ -44,6 +44,14 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kPmtbrWeightReweights: return "pmtbr_weight_reweights";
     case Counter::kAcPointRetries: return "ac_point_retries";
     case Counter::kAcPointsDropped: return "ac_points_dropped";
+    case Counter::kServeJobsSubmitted: return "serve_jobs_submitted";
+    case Counter::kServeJobsRejected: return "serve_jobs_rejected";
+    case Counter::kServeJobsCompleted: return "serve_jobs_completed";
+    case Counter::kServeJobsFailed: return "serve_jobs_failed";
+    case Counter::kServeJobsCancelled: return "serve_jobs_cancelled";
+    case Counter::kServeJobsExpired: return "serve_jobs_expired";
+    case Counter::kServeQueueNanos: return "serve_queue_nanos";
+    case Counter::kServeRunNanos: return "serve_run_nanos";
     case Counter::kCount: break;
   }
   return "unknown";

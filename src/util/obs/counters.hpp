@@ -67,6 +67,15 @@ enum class Counter : int {
   kPmtbrWeightReweights,    // windows whose surviving samples absorbed dropped weight
   kAcPointRetries,          // AC sweep points retried at a perturbed frequency
   kAcPointsDropped,         // AC sweep points dropped from the response
+  // batched reduction service (src/serve — see docs/SERVING.md)
+  kServeJobsSubmitted,      // submit() calls, admitted or rejected
+  kServeJobsRejected,       // submissions refused with kOverloaded (backpressure)
+  kServeJobsCompleted,      // jobs that produced a reduction
+  kServeJobsFailed,         // jobs that ran and failed (coverage floor, ...)
+  kServeJobsCancelled,      // jobs cancelled before or during execution
+  kServeJobsExpired,        // jobs past their deadline (queued or mid-run)
+  kServeQueueNanos,         // total admission-to-start (or -terminal) wait
+  kServeRunNanos,           // total execution wall time across jobs
 
   kCount  // sentinel; keep last
 };

@@ -31,8 +31,11 @@ enum class ErrorCode : int {
   kNoConvergence,        // iteration budget exhausted
   kInjectedFault,        // deterministic fault injection fired (tests/CI)
   kCoverageFloor,        // surviving-sample quadrature coverage below floor
-  kCancelled,            // task never ran (sibling outcome slots)
+  kCancelled,            // task never ran (sibling outcome slots) / run cancelled
   kUnhandledException,   // foreign exception captured at a task boundary
+  kDeadlineExceeded,     // job deadline passed (serving layer, CancelToken)
+  kOverloaded,           // admission queue full; request rejected (backpressure)
+  kInvalidInput,         // malformed user input (netlist text, job spec)
   kCount                 // sentinel; keep last
 };
 
@@ -48,6 +51,9 @@ constexpr const char* error_code_name(ErrorCode c) noexcept {
     case ErrorCode::kCoverageFloor: return "coverage_floor";
     case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kUnhandledException: return "unhandled_exception";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kInvalidInput: return "invalid_input";
     case ErrorCode::kCount: break;
   }
   return "unknown";

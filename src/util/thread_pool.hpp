@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "util/annotations.hpp"
+#include "util/cancel.hpp"
 #include "util/faultinject.hpp"
 #include "util/mutex.hpp"
 #include "util/status.hpp"
@@ -99,11 +100,20 @@ std::vector<R> parallel_map(index n, F&& fn) {
 /// task's Status; any other exception becomes kUnhandledException. The
 /// Site::kPoolTask injection point can condemn a task before fn runs
 /// (keyed by the task index).
+///
+/// `cancel` (optional) makes the map cooperatively cancellable: a task that
+/// has not started when the token fires is skipped entirely, leaving its
+/// default slot (kCancelled, "task never ran"). Tasks already inside fn run
+/// to completion — cancellation never corrupts a partial solve. Callers are
+/// expected to re-check the token after the map returns and abandon the
+/// batch (mor::pmtbr does; see docs/SERVING.md).
 template <typename R, typename F>
-std::vector<Expected<R>> parallel_try_map(index n, F&& fn) {
+std::vector<Expected<R>> parallel_try_map(index n, F&& fn,
+                                          const CancelToken& cancel = {}) {
   std::vector<Expected<R>> out(static_cast<std::size_t>(n));
   global_pool().parallel_for(0, n, [&](index i) {
     auto& slot = out[static_cast<std::size_t>(i)];
+    if (cancel.cancelled()) return;  // slot keeps its default kCancelled
     if (fault::should_fail(fault::Site::kPoolTask, static_cast<std::uint64_t>(i))) {
       slot = Status(ErrorCode::kInjectedFault, "pool.task fault injected");
       return;

@@ -1,0 +1,198 @@
+// CancelToken semantics and their contract with parallel_try_map and the
+// pmtbr sampling loops (docs/SERVING.md): a cancelled run aborts at a
+// checkpoint with the right Status, produces no partial result or
+// degradation bookkeeping, and leaks no pool tasks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "circuit/generators.hpp"
+#include "mor/pmtbr.hpp"
+#include "util/cancel.hpp"
+#include "util/obs/counters.hpp"
+#include "util/status.hpp"
+#include "util/thread_pool.hpp"
+
+namespace pmtbr {
+namespace {
+
+using util::CancelToken;
+using util::ErrorCode;
+using util::StatusError;
+
+TEST(CancelToken, DefaultIsInert) {
+  CancelToken t;
+  EXPECT_FALSE(t.valid());
+  EXPECT_FALSE(t.cancel_requested());
+  EXPECT_FALSE(t.deadline_passed());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_TRUE(t.check().is_ok());
+  t.request_cancel();  // no-op, must not crash
+  t.set_deadline(std::chrono::steady_clock::now());
+  EXPECT_FALSE(t.cancelled());
+  EXPECT_NO_THROW(t.throw_if_cancelled());
+}
+
+TEST(CancelToken, RequestCancelIsSharedAndIdempotent) {
+  CancelToken t = CancelToken::make();
+  EXPECT_TRUE(t.valid());
+  EXPECT_FALSE(t.cancelled());
+  CancelToken copy = t;  // copies observe the same state
+  copy.request_cancel();
+  copy.request_cancel();
+  EXPECT_TRUE(t.cancel_requested());
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.check().code(), ErrorCode::kCancelled);
+  EXPECT_THROW(t.throw_if_cancelled(), StatusError);
+}
+
+TEST(CancelToken, DeadlineReportsDeadlineExceeded) {
+  CancelToken t = CancelToken::make();
+  t.set_deadline(std::chrono::steady_clock::now() + std::chrono::hours(1));
+  EXPECT_FALSE(t.deadline_passed());
+  EXPECT_TRUE(t.check().is_ok());
+  t.set_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  EXPECT_TRUE(t.deadline_passed());
+  EXPECT_TRUE(t.cancelled());
+  EXPECT_EQ(t.check().code(), ErrorCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, ExplicitCancelWinsOverDeadline) {
+  CancelToken t = CancelToken::make();
+  t.set_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  t.request_cancel();
+  EXPECT_EQ(t.check().code(), ErrorCode::kCancelled);
+}
+
+TEST(ParallelTryMapCancel, PreCancelledTokenSkipsEveryTask) {
+  CancelToken t = CancelToken::make();
+  t.request_cancel();
+  std::atomic<int> invocations{0};
+  auto out = util::parallel_try_map<int>(
+      64,
+      [&](la::index i) -> util::Expected<int> {
+        invocations.fetch_add(1);
+        return static_cast<int>(i);
+      },
+      t);
+  EXPECT_EQ(invocations.load(), 0);
+  ASSERT_EQ(out.size(), 64u);
+  for (const auto& slot : out) {
+    EXPECT_FALSE(slot.is_ok());
+    EXPECT_EQ(slot.status().code(), ErrorCode::kCancelled);  // "task never ran"
+  }
+}
+
+TEST(ParallelTryMapCancel, InertTokenRunsEverything) {
+  std::atomic<int> invocations{0};
+  auto out = util::parallel_try_map<int>(32, [&](la::index i) -> util::Expected<int> {
+    invocations.fetch_add(1);
+    return static_cast<int>(i) * 2;
+  });
+  EXPECT_EQ(invocations.load(), 32);
+  for (la::index i = 0; i < 32; ++i) {
+    ASSERT_TRUE(out[static_cast<std::size_t>(i)].is_ok());
+    EXPECT_EQ(out[static_cast<std::size_t>(i)].value(), static_cast<int>(i) * 2);
+  }
+}
+
+TEST(PmtbrCancel, PreCancelledRunAbortsBeforeAnyWork) {
+  const DescriptorSystem sys = circuit::make_rc_line({.segments = 40});
+  obs::reset_counters();
+
+  mor::PmtbrOptions opts;
+  opts.num_samples = 16;
+  opts.cancel = CancelToken::make();
+  opts.cancel.request_cancel();
+  try {
+    mor::pmtbr(sys, opts);
+    FAIL() << "expected StatusError(kCancelled)";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kCancelled);
+  }
+  // The abort happens at the first checkpoint: nothing sampled, nothing
+  // absorbed, no degradation bookkeeping — i.e. no partial progress that
+  // could leak into a manifest.
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPmtbrSamples), 0);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPmtbrSamplesDropped), 0);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kPmtbrWeightReweights), 0);
+  EXPECT_EQ(obs::counter_value(obs::Counter::kCompressorColumnsKept), 0);
+}
+
+TEST(PmtbrCancel, PreCancelledAdaptiveRunAborts) {
+  const DescriptorSystem sys = circuit::make_rc_line({.segments = 30});
+  mor::PmtbrOptions opts;
+  opts.cancel = CancelToken::make();
+  opts.cancel.request_cancel();
+  try {
+    mor::pmtbr_adaptive(sys, {.initial_samples = 4, .max_samples = 16}, opts);
+    FAIL() << "expected StatusError(kCancelled)";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kCancelled);
+  }
+}
+
+TEST(PmtbrCancel, ExpiredDeadlineSurfacesDeadlineExceeded) {
+  const DescriptorSystem sys = circuit::make_rc_line({.segments = 40});
+  mor::PmtbrOptions opts;
+  opts.num_samples = 16;
+  opts.cancel = CancelToken::make();
+  opts.cancel.set_deadline(std::chrono::steady_clock::now() - std::chrono::milliseconds(1));
+  try {
+    mor::pmtbr(sys, opts);
+    FAIL() << "expected StatusError(kDeadlineExceeded)";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kDeadlineExceeded);
+  }
+}
+
+// Cancelling from another thread mid-run: the run must abort at a
+// checkpoint with kCancelled and leave no degradation bookkeeping (the
+// post-map checkpoint fires before degrade_window). The exact cancellation
+// instant races with the solves, so a fast machine may occasionally finish
+// a run before the cancel lands — the test retries with a larger workload
+// and requires at least one observed cancellation.
+TEST(PmtbrCancel, MidRunCancelFromAnotherThread) {
+  const DescriptorSystem sys = circuit::make_rc_mesh({.rows = 16, .cols = 16});
+  bool observed_cancel = false;
+  for (int attempt = 0; attempt < 5 && !observed_cancel; ++attempt) {
+    obs::reset_counters();
+    mor::PmtbrOptions opts;
+    opts.num_samples = 96 << attempt;  // escalate until cancel wins the race
+    opts.cancel = CancelToken::make();
+
+    std::atomic<bool> done{false};
+    std::thread canceller([&] {
+      // Wait for the sampling map to actually start before cancelling.
+      while (!done.load() && obs::counter_value(obs::Counter::kShiftedSolve) == 0)
+        std::this_thread::yield();
+      opts.cancel.request_cancel();
+    });
+    try {
+      mor::pmtbr(sys, opts);
+    } catch (const StatusError& e) {
+      EXPECT_EQ(e.status().code(), ErrorCode::kCancelled);
+      observed_cancel = true;
+      // Cancelled between map and absorption: no drop/reweight bookkeeping.
+      EXPECT_EQ(obs::counter_value(obs::Counter::kPmtbrSamplesDropped), 0);
+      EXPECT_EQ(obs::counter_value(obs::Counter::kPmtbrWeightReweights), 0);
+    }
+    done.store(true);
+    canceller.join();
+  }
+  EXPECT_TRUE(observed_cancel);
+
+  // The pool must come out fully functional — no leaked or wedged tasks.
+  std::atomic<int> ran{0};
+  auto out = util::parallel_try_map<int>(128, [&](la::index i) -> util::Expected<int> {
+    ran.fetch_add(1);
+    return static_cast<int>(i);
+  });
+  EXPECT_EQ(ran.load(), 128);
+  for (const auto& slot : out) EXPECT_TRUE(slot.is_ok());
+}
+
+}  // namespace
+}  // namespace pmtbr

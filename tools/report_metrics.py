@@ -72,6 +72,70 @@ def validate_degradation(deg) -> list[str]:
     return errors
 
 
+# "serve" manifest extra (serve::serve_extra, docs/SERVING.md): monotonic
+# service totals whose outcome fields partition every submission.
+SERVE_COUNTS = ("submitted", "completed", "failed", "cancelled", "expired",
+                "rejected")
+SERVE_SECONDS = ("queue_seconds", "run_seconds")
+
+
+def validate_serve_extra(serve) -> list[str]:
+    errors = []
+    if not isinstance(serve, dict):
+        return ["extra 'serve' must be an object"]
+    for key in SERVE_COUNTS:
+        if not isinstance(serve.get(key), int) or serve.get(key) < 0:
+            errors.append(f"serve.{key} must be a nonnegative integer")
+    for key in SERVE_SECONDS:
+        v = serve.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            errors.append(f"serve.{key} must be a nonnegative number")
+    if not errors:
+        terminal = sum(serve[k] for k in SERVE_COUNTS[1:])
+        if serve["submitted"] != terminal:
+            errors.append("serve outcome fields do not partition 'submitted'")
+    return errors
+
+
+def validate_percentiles(prefix: str, obj) -> list[str]:
+    if not isinstance(obj, dict):
+        return [f"{prefix} must be an object"]
+    errors = []
+    for key in ("p50", "p99"):
+        v = obj.get(key)
+        if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+            errors.append(f"{prefix}.{key} must be a nonnegative number")
+    return errors
+
+
+# "serve" array in a timing artifact (bench_serve_throughput): one entry per
+# runner-count sweep point with throughput and latency percentiles.
+def validate_serve_sweep(sweep) -> list[str]:
+    if not isinstance(sweep, list):
+        return ["'serve' must be an array of sweep points"]
+    errors = []
+    for i, pt in enumerate(sweep):
+        if not isinstance(pt, dict):
+            errors.append(f"serve[{i}] must be an object")
+            continue
+        for key in ("runners", "jobs"):
+            if not isinstance(pt.get(key), int) or pt.get(key) < 0:
+                errors.append(f"serve[{i}].{key} must be a nonnegative integer")
+        jps = pt.get("jobs_per_second")
+        if not isinstance(jps, (int, float)) or isinstance(jps, bool) or jps < 0:
+            errors.append(f"serve[{i}].jobs_per_second must be a nonnegative number")
+        for section in ("queue_seconds", "run_seconds"):
+            errors.extend(validate_percentiles(f"serve[{i}].{section}",
+                                               pt.get(section)))
+        outcomes = pt.get("outcomes")
+        if not isinstance(outcomes, dict) or not all(
+                isinstance(outcomes.get(k), int) and outcomes[k] >= 0
+                for k in SERVE_COUNTS[1:]):
+            errors.append(f"serve[{i}].outcomes lacks nonnegative "
+                          f"{'/'.join(SERVE_COUNTS[1:])}")
+    return errors
+
+
 def fail(msg: str) -> None:
     print(f"report_metrics: {msg}", file=sys.stderr)
     sys.exit(1)
@@ -110,6 +174,8 @@ def validate_manifest(path: Path, data: dict) -> list[str]:
     extra = data.get("extra")
     if isinstance(extra, dict) and "degradation" in extra:
         errors.extend(validate_degradation(extra["degradation"]))
+    if isinstance(extra, dict) and "serve" in extra:
+        errors.extend(validate_serve_extra(extra["serve"]))
     return [f"{path}: {e}" for e in errors]
 
 
@@ -127,6 +193,8 @@ def validate_timing(path: Path, data: dict) -> list[str]:
             elif "gflops" in r and (not isinstance(r["gflops"], (int, float))
                                     or isinstance(r["gflops"], bool) or r["gflops"] < 0):
                 errors.append(f"records[{i}].gflops must be a nonnegative number")
+    if "serve" in data:
+        errors.extend(validate_serve_sweep(data["serve"]))
     return [f"{path}: {e}" for e in errors]
 
 
@@ -171,6 +239,11 @@ def show_timing(data: dict) -> None:
         if r.get("gflops"):
             extras += f"  {r['gflops']:.2f} GF/s"
         print(f"  {r['label']:<40}  {r['wall_seconds']:>10.4f}s  {extras}")
+    for pt in data.get("serve", []):
+        q, rn = pt["queue_seconds"], pt["run_seconds"]
+        print(f"  serve runners={pt['runners']}: {pt['jobs_per_second']:.2f} jobs/s  "
+              f"queue p50/p99 {q['p50'] * 1e3:.2f}/{q['p99'] * 1e3:.2f} ms  "
+              f"run p50/p99 {rn['p50'] * 1e3:.2f}/{rn['p99'] * 1e3:.2f} ms")
 
 
 def cmd_show(paths: list[Path]) -> int:
