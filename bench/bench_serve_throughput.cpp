@@ -15,7 +15,9 @@
 
 #include "bench_common.hpp"
 #include "circuit/generators.hpp"
+#include "serve/model_cache.hpp"
 #include "serve/service.hpp"
+#include "sparse/factor_cache.hpp"
 #include "util/obs/counters.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
@@ -59,7 +61,10 @@ struct SweepPoint {
 
 SweepPoint run_sweep(int runners) {
   // Rebuild the batch per sweep so every runner count reduces the same set
-  // of systems (the rng stream is a pure function of the seed).
+  // of systems (the rng stream is a pure function of the seed). Each sweep
+  // gets a fresh service (fresh model cache) and a cold factor cache, so
+  // runner counts stay comparable.
+  sparse::FactorCache::global().clear();
   Rng rng(7);
   serve::ReductionService svc({.runners = runners, .max_queue = kBatch});
   WallTimer timer;
@@ -89,7 +94,63 @@ SweepPoint run_sweep(int runners) {
   return pt;
 }
 
-std::string write_artifact(const std::vector<SweepPoint>& sweep) {
+// Warm-vs-cold phase for the cross-job caching layer (docs/SERVING.md):
+// one service reduces a wave of distinct jobs cold, then the identical
+// wave again several times. Warm waves are served by the model cache, so
+// warm jobs/sec should beat cold by a wide margin.
+struct RepeatedWorkload {
+  int jobs_per_wave = 0;
+  int warm_waves = 0;
+  double cold_wall_seconds = 0.0;
+  double warm_wall_seconds = 0.0;
+  double cold_jobs_per_second = 0.0;
+  double warm_jobs_per_second = 0.0;
+  serve::ServiceStats stats;
+  util::CacheStats model;
+  util::CacheStats factor;
+};
+
+RepeatedWorkload run_repeated_workload() {
+  constexpr int kWave = 12;
+  constexpr int kWarmWaves = 3;
+  sparse::FactorCache::global().clear();
+  serve::ReductionService svc({.runners = 4, .max_queue = kWave});
+
+  // Deterministic, index-distinct jobs: every wave resubmits bit-identical
+  // requests, so wave 2+ hits the model cache populated by wave 1.
+  const auto wave = [&svc] {
+    WallTimer timer;
+    std::vector<serve::JobId> ids;
+    ids.reserve(kWave);
+    for (int i = 0; i < kWave; ++i) {
+      serve::JobRequest req;
+      req.name = "repeat-" + std::to_string(i);
+      req.system = circuit::make_rc_line({.segments = static_cast<index>(40 + 5 * i)});
+      req.options.num_samples = 16;
+      auto id = svc.submit(std::move(req));
+      if (id.is_ok()) ids.push_back(id.value());
+    }
+    for (const auto id : ids) (void)svc.wait(id);
+    return timer.seconds();
+  };
+
+  RepeatedWorkload rep;
+  rep.jobs_per_wave = kWave;
+  rep.warm_waves = kWarmWaves;
+  rep.cold_wall_seconds = wave();
+  for (int w = 0; w < kWarmWaves; ++w) rep.warm_wall_seconds += wave();
+  rep.cold_jobs_per_second =
+      rep.cold_wall_seconds > 0 ? kWave / rep.cold_wall_seconds : 0.0;
+  rep.warm_jobs_per_second =
+      rep.warm_wall_seconds > 0 ? kWarmWaves * kWave / rep.warm_wall_seconds : 0.0;
+  rep.stats = svc.stats();
+  rep.model = svc.model_cache_stats();
+  rep.factor = sparse::FactorCache::global().stats();
+  return rep;
+}
+
+std::string write_artifact(const std::vector<SweepPoint>& sweep,
+                           const RepeatedWorkload& rep) {
   std::error_code ec;
   std::filesystem::create_directories("bench_out", ec);
   if (ec) return {};
@@ -159,6 +220,29 @@ std::string write_artifact(const std::vector<SweepPoint>& sweep) {
     w.end_object();
   }
   w.end_array();
+  w.key("repeated_workload");
+  w.begin_object();
+  w.key("jobs_per_wave");
+  w.value(rep.jobs_per_wave);
+  w.key("warm_waves");
+  w.value(rep.warm_waves);
+  w.key("cold");
+  w.begin_object();
+  w.key("wall_seconds");
+  w.value(rep.cold_wall_seconds);
+  w.key("jobs_per_second");
+  w.value(rep.cold_jobs_per_second);
+  w.end_object();
+  w.key("warm");
+  w.begin_object();
+  w.key("wall_seconds");
+  w.value(rep.warm_wall_seconds);
+  w.key("jobs_per_second");
+  w.value(rep.warm_jobs_per_second);
+  w.end_object();
+  w.key("cache_hits");
+  w.value(rep.stats.cache_hits);
+  w.end_object();
   w.end_object();
   w.done();
   return path;
@@ -184,8 +268,15 @@ int main() {
               << pt.stats.completed << "\n";
   }
 
-  const std::string artifact = write_artifact(sweep);
+  const RepeatedWorkload rep = run_repeated_workload();
+  std::cout << "repeated_workload: cold " << rep.cold_jobs_per_second
+            << " jobs/sec, warm " << rep.warm_jobs_per_second << " jobs/sec, "
+            << rep.stats.cache_hits << " cache hits\n";
+
+  const std::string artifact = write_artifact(sweep, rep);
   if (!artifact.empty()) bench::note("timing artifact: " + artifact);
-  bench::write_run_manifest("serve_throughput", {serve::serve_extra(sweep.back().stats)});
+  bench::write_run_manifest("serve_throughput",
+                            {serve::serve_extra(rep.stats),
+                             serve::cache_extra(rep.model, rep.factor)});
   return 0;
 }

@@ -6,8 +6,10 @@
 #include "la/cholesky.hpp"
 #include "la/lu.hpp"
 #include "la/ops.hpp"
+#include "sparse/factor_cache.hpp"
 #include "sparse/rcm.hpp"
 #include "sparse/splu.hpp"
+#include "util/faultinject.hpp"
 #include "util/obs/counters.hpp"
 #include "util/obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -90,6 +92,38 @@ util::Expected<std::shared_ptr<const sparse::SymbolicLuC>> DescriptorSystem::try
 
 void DescriptorSystem::prepare_shifted(cd s) const { symbolic_for(s); }
 
+namespace {
+
+void mix_csr(util::FingerprintHasher& h, const sparse::CsrD& m) {
+  h.mix_i64(static_cast<std::int64_t>(m.rows()));
+  h.mix_i64(static_cast<std::int64_t>(m.cols()));
+  h.mix_ints(m.row_ptr());
+  h.mix_ints(m.col_idx());
+  h.mix_doubles(m.values());
+}
+
+void mix_dense(util::FingerprintHasher& h, const MatD& m) {
+  h.mix_i64(static_cast<std::int64_t>(m.rows()));
+  h.mix_i64(static_cast<std::int64_t>(m.cols()));
+  h.mix_doubles(m.data(), m.size());
+}
+
+}  // namespace
+
+util::Fingerprint DescriptorSystem::content_fingerprint() const {
+  Cache& cache = *cache_;
+  util::MutexLock lock(cache.mutex);
+  if (!cache.fingerprint) {
+    util::FingerprintHasher h;
+    mix_csr(h, e_);
+    mix_csr(h, a_);
+    mix_dense(h, b_);
+    mix_dense(h, c_);
+    cache.fingerprint = std::make_shared<const util::Fingerprint>(h.digest());
+  }
+  return *cache.fingerprint;
+}
+
 util::Status DescriptorSystem::try_prepare_shifted(cd s) const {
   auto sym = try_symbolic_for(s);
   if (!sym.is_ok()) return sym.status();
@@ -121,16 +155,53 @@ sparse::SparseLuC DescriptorSystem::factor_shifted(cd s) const {
 
 util::Expected<sparse::SparseLuC> DescriptorSystem::try_factor_shifted(cd s,
                                                                        double diag_reg) const {
-  PMTBR_TRACE_SCOPE("descriptor.factor_shifted");
   auto sym = try_symbolic_for(s);
   if (!sym.is_ok()) return sym.status();
+  return numeric_factor(*sym.value(), s, diag_reg);
+}
+
+util::Expected<sparse::SparseLuC> DescriptorSystem::numeric_factor(
+    const sparse::SymbolicLuC& symbolic, cd s, double diag_reg) const {
+  PMTBR_TRACE_SCOPE("descriptor.factor_shifted");
   sparse::CsrC pencil = sparse::shifted_pencil(s, e_, a_);
   if (diag_reg > 0.0) regularize_diagonal(pencil, diag_reg);
-  auto lu = sparse::SparseLuC::refactor(*sym.value(), pencil);
+  auto lu = sparse::SparseLuC::refactor(symbolic, pencil);
   if (lu.is_ok()) return lu;
   // Frozen pivot order degenerate at this shift: full factorization with
   // fresh pivoting (deterministic — depends only on the pencil values).
   return sparse::SparseLuC::factor(pencil, ordering());
+}
+
+util::Expected<std::shared_ptr<const sparse::SparseLuC>> DescriptorSystem::try_shared_factor(
+    cd s, double diag_reg) const {
+  auto sym = try_symbolic_for(s);
+  if (!sym.is_ok()) return sym.status();
+  sparse::FactorCache& cache = sparse::FactorCache::global();
+  // Regularized factors are one-off rescues; injected faults are keyed per
+  // solve attempt, so serving cached factors under an armed injector would
+  // skip failure sites the robustness suite accounts for exactly.
+  const bool cacheable = !(diag_reg > 0.0) && cache.enabled() && !util::fault::enabled();
+  if (!cacheable) {
+    auto lu = numeric_factor(*sym.value(), s, diag_reg);
+    if (!lu.is_ok()) return lu.status();
+    return std::make_shared<const sparse::SparseLuC>(std::move(lu).value());
+  }
+  util::FingerprintHasher h;
+  const util::Fingerprint content = content_fingerprint();
+  const util::Fingerprint structure = sym.value()->fingerprint();
+  h.mix(content.hi);
+  h.mix(content.lo);
+  h.mix(structure.hi);
+  h.mix(structure.lo);
+  h.mix_double(s.real());
+  h.mix_double(s.imag());
+  const util::Fingerprint key = h.digest();
+  if (auto hit = cache.lookup(key)) return hit;
+  auto lu = numeric_factor(*sym.value(), s, diag_reg);
+  if (!lu.is_ok()) return lu.status();
+  auto shared = std::make_shared<const sparse::SparseLuC>(std::move(lu).value());
+  cache.insert(key, shared);
+  return shared;
 }
 
 MatC DescriptorSystem::solve_shifted(cd s, const MatC& rhs) const {
@@ -143,9 +214,9 @@ util::Expected<MatC> DescriptorSystem::try_solve_shifted(cd s, const MatC& rhs,
                                                          double diag_reg) const {
   PMTBR_TRACE_SCOPE("descriptor.solve_shifted");
   obs::counter_add(obs::Counter::kShiftedSolve);
-  auto lu = try_factor_shifted(s, diag_reg);
+  auto lu = try_shared_factor(s, diag_reg);
   if (!lu.is_ok()) return lu.status();
-  return lu.value().solve(rhs);
+  return lu.value()->solve(rhs);
 }
 
 util::Expected<MatC> DescriptorSystem::try_transfer(cd s, double diag_reg) const {
@@ -157,7 +228,9 @@ util::Expected<MatC> DescriptorSystem::try_transfer(cd s, double diag_reg) const
 MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {
   PMTBR_TRACE_SCOPE("descriptor.solve_shifted_adjoint");
   obs::counter_add(obs::Counter::kShiftedSolve);
-  const sparse::SparseLuC lu = factor_shifted(s);
+  auto shared = try_shared_factor(s, 0.0);
+  if (!shared.is_ok()) throw util::StatusError(shared.status());
+  const sparse::SparseLuC& lu = *shared.value();
   MatC x(rhs.rows(), rhs.cols());
   util::parallel_for(0, rhs.cols(),
                      [&](index j) { x.set_col(j, lu.solve_adjoint(rhs.col(j))); });
@@ -167,7 +240,9 @@ MatC DescriptorSystem::solve_shifted_adjoint(cd s, const MatC& rhs) const {
 MatC DescriptorSystem::solve_shifted_transpose(cd s, const MatC& rhs) const {
   PMTBR_TRACE_SCOPE("descriptor.solve_shifted_transpose");
   obs::counter_add(obs::Counter::kShiftedSolve);
-  const sparse::SparseLuC lu = factor_shifted(s);
+  auto shared = try_shared_factor(s, 0.0);
+  if (!shared.is_ok()) throw util::StatusError(shared.status());
+  const sparse::SparseLuC& lu = *shared.value();
   MatC x(rhs.rows(), rhs.cols());
   util::parallel_for(0, rhs.cols(),
                      [&](index j) { x.set_col(j, lu.solve_transpose(rhs.col(j))); });

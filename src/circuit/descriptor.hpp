@@ -19,6 +19,7 @@
 #include "sparse/csr.hpp"
 #include "sparse/splu.hpp"
 #include "util/annotations.hpp"
+#include "util/fingerprint.hpp"
 #include "util/mutex.hpp"
 #include "util/status.hpp"
 
@@ -90,6 +91,15 @@ class DescriptorSystem {
   /// H(s) = C (sE - A)^{-1} B, Status-carrying.
   util::Expected<la::MatC> try_transfer(la::cd s, double diag_reg = 0.0) const;
 
+  /// Deterministic 128-bit hash of the system's content: the sparsity
+  /// patterns AND values of E and A plus the dense B and C entries
+  /// (dimensions included; name-like metadata is none of this class's
+  /// business). Computed lazily and cached alongside the symbolic
+  /// analysis, so copies of a system share it. Equal fingerprints mean
+  /// bit-identical matrices — the keying ground truth for the cross-job
+  /// model and factor caches (docs/SERVING.md).
+  util::Fingerprint content_fingerprint() const;
+
  private:
   /// Shared lazily-computed state. Held behind one shared_ptr so copies of
   /// a system (which share the same E/A) also share the caches, and so the
@@ -101,6 +111,7 @@ class DescriptorSystem {
     util::Mutex mutex;
     std::shared_ptr<const std::vector<la::index>> ordering PMTBR_GUARDED_BY(mutex);
     std::shared_ptr<const sparse::SymbolicLuC> symbolic PMTBR_GUARDED_BY(mutex);
+    std::shared_ptr<const util::Fingerprint> fingerprint PMTBR_GUARDED_BY(mutex);
   };
 
   /// Builds (first call) or reads the cached RCM ordering. The caller must
@@ -111,6 +122,16 @@ class DescriptorSystem {
   util::Expected<std::shared_ptr<const sparse::SymbolicLuC>> try_symbolic_for(la::cd s) const;
   sparse::SparseLuC factor_shifted(la::cd s) const;
   util::Expected<sparse::SparseLuC> try_factor_shifted(la::cd s, double diag_reg) const;
+  /// Numeric phase against an already-resolved symbolic analysis (replay,
+  /// full-factor fallback on a degenerate frozen pivot).
+  util::Expected<sparse::SparseLuC> numeric_factor(const sparse::SymbolicLuC& symbolic,
+                                                   la::cd s, double diag_reg) const;
+  /// Factorization for solves, consulting the process-wide factor cache
+  /// (sparse/factor_cache) when eligible: diag_reg == 0, cache enabled,
+  /// fault injection disarmed. Exactly one try_symbolic_for lookup either
+  /// way, so the symbolic hit/miss counters are unaffected by caching.
+  util::Expected<std::shared_ptr<const sparse::SparseLuC>> try_shared_factor(
+      la::cd s, double diag_reg) const;
 
   sparse::CsrD e_, a_;
   la::MatD b_, c_;

@@ -1,0 +1,130 @@
+#include "serve/model_cache.hpp"
+
+#include <sstream>
+
+#include "util/obs/counters.hpp"
+#include "util/obs/json.hpp"
+
+namespace pmtbr::serve {
+
+namespace {
+
+std::size_t dense_bytes(const la::MatD& m) { return m.size() * sizeof(double); }
+
+void mix_options(util::FingerprintHasher& h, const mor::PmtbrOptions& opts) {
+  h.mix(opts.bands.size());
+  for (const mor::Band& band : opts.bands) {
+    h.mix_double(band.f_lo);
+    h.mix_double(band.f_hi);
+  }
+  h.mix_i64(static_cast<std::int64_t>(opts.num_samples));
+  h.mix_i64(static_cast<std::int64_t>(opts.scheme));
+  h.mix_i64(static_cast<std::int64_t>(opts.fixed_order));
+  h.mix_double(opts.truncation_tol);
+  h.mix_i64(static_cast<std::int64_t>(opts.max_order));
+  h.mix_double(opts.adaptive_excess);
+  h.mix_i64(static_cast<std::int64_t>(opts.min_samples));
+  h.mix_i64(opts.resilience.max_retries);
+  h.mix_double(opts.resilience.retry_shift_eps);
+  h.mix_double(opts.resilience.diag_reg);
+  h.mix_double(opts.resilience.min_coverage);
+  h.mix_i64(static_cast<std::int64_t>(opts.compressor));
+}
+
+}  // namespace
+
+std::optional<util::Fingerprint> job_fingerprint(const JobRequest& req) {
+  // A std::function weight has no content identity: two textually equal
+  // lambdas are distinct values, so memoizing across them would be wrong.
+  if (req.options.weight_fn) return std::nullopt;
+  util::FingerprintHasher h;
+  const util::Fingerprint system = req.system.content_fingerprint();
+  h.mix(system.hi);
+  h.mix(system.lo);
+  h.mix_i64(static_cast<std::int64_t>(req.method));
+  mix_options(h, req.options);
+  if (req.method == Method::kPmtbrAdaptive) {
+    h.mix_double(req.adaptive.band.f_lo);
+    h.mix_double(req.adaptive.band.f_hi);
+    h.mix_i64(static_cast<std::int64_t>(req.adaptive.initial_samples));
+    h.mix_i64(static_cast<std::int64_t>(req.adaptive.max_samples));
+    h.mix_double(req.adaptive.novelty_tol);
+  }
+  return h.digest();
+}
+
+std::size_t result_bytes(const mor::PmtbrResult& result) {
+  const mor::DenseSystem& sys = result.model.system;
+  std::size_t bytes = dense_bytes(sys.e()) + dense_bytes(sys.a()) + dense_bytes(sys.b()) +
+                      dense_bytes(sys.c()) + dense_bytes(result.model.v) +
+                      dense_bytes(result.model.w);
+  bytes += result.model.singular_values.size() * sizeof(double);
+  bytes += result.hankel_estimates.size() * sizeof(double);
+  bytes += result.samples_used.size() * sizeof(mor::FrequencySample);
+  bytes += result.degradation.failures.size() * sizeof(mor::SampleFailure);
+  return bytes;
+}
+
+ModelCache::ModelCache(std::size_t byte_budget)
+    : lru_({0, byte_budget > 0 ? byte_budget
+                               : util::cache_byte_budget(kDefaultModelCacheBytes)}) {}
+
+ModelCache::ResultPtr ModelCache::lookup(const util::Fingerprint& key) {
+  auto hit = lru_.get(key);
+  if (hit.has_value()) {
+    obs::counter_add(obs::Counter::kModelCacheHit);
+    return *hit;
+  }
+  obs::counter_add(obs::Counter::kModelCacheMiss);
+  return nullptr;
+}
+
+void ModelCache::insert(const util::Fingerprint& key, ResultPtr result) {
+  const std::size_t bytes = result_bytes(*result);
+  const util::EvictionReport ev = lru_.put(key, std::move(result), bytes);
+  if (!ev.inserted) return;
+  obs::counter_add(obs::Counter::kModelCacheBytes,
+                   static_cast<std::int64_t>(bytes) - ev.bytes - ev.replaced_bytes);
+  if (ev.count > 0) obs::counter_add(obs::Counter::kModelCacheEvict, ev.count);
+}
+
+void ModelCache::note_coalesced(std::int64_t n) {
+  lru_.add_coalesced(n);
+  obs::counter_add(obs::Counter::kModelCacheCoalesced, n);
+}
+
+namespace {
+
+void write_layer(obs::JsonWriter& w, const util::CacheStats& st) {
+  w.begin_object();
+  w.key("hits");
+  w.value(st.hits);
+  w.key("misses");
+  w.value(st.misses);
+  w.key("evictions");
+  w.value(st.evictions);
+  w.key("coalesced");
+  w.value(st.coalesced);
+  w.key("entries");
+  w.value(st.entries);
+  w.key("bytes");
+  w.value(st.bytes);
+  w.end_object();
+}
+
+}  // namespace
+
+std::pair<std::string, std::string> cache_extra(const util::CacheStats& model,
+                                                const util::CacheStats& factor) {
+  std::ostringstream os;
+  obs::JsonWriter w(os);
+  w.begin_object();
+  w.key("model");
+  write_layer(w, model);
+  w.key("factor");
+  write_layer(w, factor);
+  w.end_object();
+  return {"cache", os.str()};
+}
+
+}  // namespace pmtbr::serve

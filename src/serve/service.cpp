@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "serve/model_cache.hpp"
 #include "util/check.hpp"
+#include "util/faultinject.hpp"
 #include "util/logging.hpp"
 #include "util/obs/counters.hpp"
 #include "util/obs/json.hpp"
@@ -52,6 +54,8 @@ std::pair<std::string, std::string> serve_extra(const ServiceStats& stats) {
   w.value(stats.expired);
   w.key("rejected");
   w.value(stats.rejected);
+  w.key("cache_hits");
+  w.value(stats.cache_hits);
   w.key("queue_seconds");
   w.value(stats.queue_seconds);
   w.key("run_seconds");
@@ -63,6 +67,11 @@ std::pair<std::string, std::string> serve_extra(const ServiceStats& stats) {
 ReductionService::ReductionService(ServiceOptions opts) : opts_(opts) {
   PMTBR_REQUIRE(opts_.runners >= 1, "service needs at least one runner thread");
   PMTBR_REQUIRE(opts_.max_queue >= 1, "admission queue must hold at least one job");
+  if (opts_.model_cache) {
+    auto cache = std::make_unique<ModelCache>(opts_.model_cache_bytes);
+    // A byte budget resolving to 0 (PMTBR_CACHE_BYTES=0) disables caching.
+    if (cache->enabled()) cache_ = std::move(cache);
+  }
   runners_.reserve(static_cast<std::size_t>(opts_.runners));
   for (int t = 0; t < opts_.runners; ++t)
     runners_.emplace_back([this] { runner_loop(); });
@@ -97,6 +106,14 @@ util::Expected<JobId> ReductionService::submit(JobRequest req) {
   if (job->req.deadline.count() > 0) {
     job->has_deadline = true;
     job->deadline_at = now + job->req.deadline;
+  }
+  // Fingerprint on the submitter thread, outside the service lock — it
+  // walks the system matrices once (then memoized inside the descriptor).
+  if (cache_ != nullptr) {
+    if (const auto key = job_fingerprint(job->req)) {
+      job->cacheable = true;
+      job->cache_key = *key;
+    }
   }
 
   util::MutexLock lock(mutex_);
@@ -167,6 +184,10 @@ std::vector<std::pair<JobId, JobResult>> ReductionService::drain() {
 ServiceStats ReductionService::stats() const {
   util::MutexLock lock(mutex_);
   return stats_;
+}
+
+util::CacheStats ReductionService::model_cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : util::CacheStats{};
 }
 
 std::shared_ptr<ReductionService::Job> ReductionService::pop_best_locked() {
@@ -257,15 +278,11 @@ void ReductionService::runner_loop() {
     const auto started = Clock::now();
     JobOutcome outcome = JobOutcome::kFailed;
     util::Status status;
+    bool from_cache = false;
     {
       PMTBR_TRACE_SCOPE("serve.job");
       try {
-        mor::PmtbrOptions options = job->req.options;
-        options.cancel = job->token;
-        job->result.reduction =
-            job->req.method == Method::kPmtbrAdaptive
-                ? mor::pmtbr_adaptive(job->req.system, job->req.adaptive, options)
-                : mor::pmtbr(job->req.system, options);
+        from_cache = execute_job(*job);
         outcome = JobOutcome::kCompleted;
         status = util::Status::ok();
       } catch (const util::StatusError& e) {
@@ -287,7 +304,71 @@ void ReductionService::runner_loop() {
 
     util::MutexLock lock(mutex_);
     --stats_.running;
+    if (from_cache && outcome == JobOutcome::kCompleted) ++stats_.cache_hits;
     finalize_locked(*job, outcome, std::move(status), finished);
+  }
+}
+
+bool ReductionService::execute_job(Job& job) {
+  const auto reduce = [&job] {
+    mor::PmtbrOptions options = job.req.options;
+    options.cancel = job.token;
+    job.result.reduction =
+        job.req.method == Method::kPmtbrAdaptive
+            ? mor::pmtbr_adaptive(job.req.system, job.req.adaptive, options)
+            : mor::pmtbr(job.req.system, options);
+  };
+  // Fault injection bypasses the cache wholesale: robustness tests assert
+  // exact degradation sets, and a memoized result would short-circuit the
+  // injected failures they expect.
+  if (cache_ == nullptr || !job.cacheable || util::fault::enabled()) {
+    reduce();
+    return false;
+  }
+  for (;;) {
+    if (ModelCache::ResultPtr hit = cache_->lookup(job.cache_key)) {
+      // A hit still honors this job's own cancel/deadline so the outcome
+      // partition is indistinguishable from a fresh run's.
+      job.token.throw_if_cancelled();
+      job.result.reduction = *hit;
+      return true;
+    }
+    bool leader = false;
+    auto flight = cache_->flights().begin(job.cache_key, leader);
+    if (leader) {
+      // Close the lookup->begin race: a previous leader may have published
+      // and retired its flight between our miss and our begin().
+      if (ModelCache::ResultPtr hit = cache_->lookup(job.cache_key)) {
+        cache_->flights().publish(job.cache_key, flight, hit);
+        job.token.throw_if_cancelled();
+        job.result.reduction = *hit;
+        return true;
+      }
+      try {
+        reduce();
+      } catch (...) {
+        // Abandon the flight: followers wake, retry, and elect a new
+        // leader, so one cancelled job never poisons its coalesced peers.
+        cache_->flights().publish(job.cache_key, flight, nullptr);
+        throw;
+      }
+      auto published = std::make_shared<const mor::PmtbrResult>(job.result.reduction);
+      cache_->insert(job.cache_key, published);
+      cache_->flights().publish(job.cache_key, flight, published);
+      return false;
+    }
+    // Follower: join the in-flight computation, polling our own token so
+    // this job's cancel/deadline still win over a slow leader.
+    const auto value = ModelCache::FlightGate::wait(
+        *flight, std::chrono::milliseconds(1), [&job] { return job.token.cancelled(); });
+    if (!value.has_value()) {
+      job.token.throw_if_cancelled();
+    } else if (*value != nullptr) {
+      cache_->note_coalesced();
+      job.result.reduction = **value;
+      return true;
+    }
+    // Abandoned flight: loop and retry (we may be promoted to leader).
   }
 }
 

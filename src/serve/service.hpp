@@ -33,9 +33,13 @@
 
 #include "serve/job.hpp"
 #include "util/annotations.hpp"
+#include "util/fingerprint.hpp"
+#include "util/lru.hpp"
 #include "util/mutex.hpp"
 
 namespace pmtbr::serve {
+
+class ModelCache;
 
 using JobId = std::uint64_t;
 
@@ -47,6 +51,14 @@ struct ServiceOptions {
   /// Bounded admission queue: submissions beyond this many queued (not yet
   /// started) jobs are rejected with kOverloaded.
   index max_queue = 64;
+  /// Memoize completed reductions by job fingerprint and coalesce
+  /// concurrent identical jobs (docs/SERVING.md). Suspended automatically
+  /// while fault injection is armed, so injected failures stay exactly
+  /// reproducible.
+  bool model_cache = true;
+  /// Model-cache byte budget; 0 = PMTBR_CACHE_BYTES or 256 MiB. A budget
+  /// resolving to 0 disables the cache for this service.
+  std::size_t model_cache_bytes = 0;
 };
 
 /// Monotonic service totals. The outcome fields partition every terminal
@@ -61,6 +73,10 @@ struct ServiceStats {
   std::int64_t cancelled = 0;
   std::int64_t expired = 0;
   std::int64_t rejected = 0;
+  /// Completed jobs whose result came from the model cache (an LRU hit or
+  /// a coalesced in-flight join) instead of a fresh reduction. Always a
+  /// subset of `completed` — the partition identity is unchanged.
+  std::int64_t cache_hits = 0;
   std::int64_t queued = 0;   // gauge: admitted, not yet started
   std::int64_t running = 0;  // gauge: currently executing
   double queue_seconds = 0.0;  // total admission-to-start (or -terminal) wait
@@ -97,6 +113,10 @@ class ReductionService {
 
   ServiceStats stats() const PMTBR_EXCLUDES(mutex_);
 
+  /// Hit/miss/eviction totals of this service's model cache (zeros when
+  /// the cache is disabled) — feeds cache_extra() and the bench artifact.
+  util::CacheStats model_cache_stats() const;
+
  private:
   enum class JobState { kQueued, kRunning, kDone };
 
@@ -113,6 +133,10 @@ class ReductionService {
     bool has_deadline = false;
     JobState state = JobState::kQueued;
     JobResult result;
+    // Model-cache key, computed once at submission (immutable afterwards;
+    // cacheable is false for weight_fn jobs or a cache-less service).
+    bool cacheable = false;
+    util::Fingerprint cache_key;
   };
 
   /// Removes and returns the best queued job: highest priority, then
@@ -127,7 +151,14 @@ class ReductionService {
 
   void runner_loop() PMTBR_EXCLUDES(mutex_);
 
+  /// Runs the job's reduction through the model cache: LRU hit, coalesced
+  /// join of an identical in-flight job, or a fresh (leader) computation.
+  /// Returns true when the result came from the cache. Throws
+  /// util::StatusError exactly like a direct reduction would.
+  bool execute_job(Job& job) PMTBR_EXCLUDES(mutex_);
+
   ServiceOptions opts_;
+  std::unique_ptr<ModelCache> cache_;  // null when disabled
   mutable util::Mutex mutex_;
   util::ConditionVariable work_cv_;  // queue gained work, or stop
   util::ConditionVariable done_cv_;  // some job reached a terminal state

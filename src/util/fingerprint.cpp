@@ -1,0 +1,17 @@
+#include "util/fingerprint.hpp"
+
+#include <array>
+
+namespace pmtbr::util {
+
+std::string Fingerprint::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    out[static_cast<std::size_t>(i)] = kDigits[(hi >> (60 - 4 * i)) & 0xF];
+    out[static_cast<std::size_t>(16 + i)] = kDigits[(lo >> (60 - 4 * i)) & 0xF];
+  }
+  return out;
+}
+
+}  // namespace pmtbr::util

@@ -1,0 +1,301 @@
+// Capacity- and byte-bounded LRU cache plus a single-flight gate — the
+// synchronization substrate of the cross-job caching layer
+// (docs/SERVING.md).
+//
+// LruCache is internally synchronized behind a capability-annotated
+// util::Mutex, so the cache front-ends (serve/model_cache, sparse/
+// factor_cache) expose lock-free-looking APIs without re-deriving the
+// locking. Eviction is strict LRU over *unpinned* entries: pinned entries
+// are never evicted, so a caller can hold an entry resident across a
+// multi-step use without copying it out. Values are expected to be cheap
+// handles (shared_ptr to immutable data) — a get() returns a copy that
+// stays valid after the entry is evicted.
+//
+// SingleFlight collapses N concurrent computations of the same key into
+// one: the first caller becomes the leader and computes, later callers
+// join the flight and wait for the published value. An abandoned flight
+// (leader failed or was cancelled) publishes an empty value; joiners then
+// retry from the top, so a cancelled leader never propagates its
+// cancellation to followers.
+//
+// The wait is a polling cv wait templated on the duration type, so this
+// header stays free of ad-hoc clock usage; callers pick the poll interval
+// in whatever units their layer already sanctions.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <list>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "util/annotations.hpp"
+#include "util/mutex.hpp"
+
+namespace pmtbr::util {
+
+/// Monotonic hit/miss/eviction totals plus resident-size gauges; the cache
+/// front-ends mirror these into obs counters and the `cache` manifest
+/// extra. `coalesced` is fed by the single-flight owner (followers served
+/// from a flight instead of the LRU).
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t evictions = 0;
+  std::int64_t coalesced = 0;
+  std::int64_t entries = 0;  // gauge: resident entries
+  std::int64_t bytes = 0;    // gauge: resident payload bytes
+};
+
+/// What one put() displaced, so callers can mirror eviction counters and
+/// resident-bytes gauges without a second stats round-trip.
+struct EvictionReport {
+  std::int64_t count = 0;           // entries evicted under the budget
+  std::int64_t bytes = 0;           // their payload bytes
+  std::int64_t replaced_bytes = 0;  // bytes released by overwriting the same key
+  bool inserted = false;
+};
+
+/// Byte budget from the environment: PMTBR_CACHE_BYTES accepts a
+/// nonnegative integer with an optional k/m/g (KiB/MiB/GiB) suffix; 0
+/// disables caching. Unset or malformed values yield `fallback`.
+inline std::size_t cache_byte_budget(std::size_t fallback) noexcept {
+  const char* env = std::getenv("PMTBR_CACHE_BYTES");
+  if (env == nullptr || *env == '\0') return fallback;
+  std::size_t value = 0;
+  const char* p = env;
+  if (*p < '0' || *p > '9') return fallback;
+  for (; *p >= '0' && *p <= '9'; ++p) {
+    const std::size_t digit = static_cast<std::size_t>(*p - '0');
+    if (value > (~std::size_t{0} - digit) / 10) return fallback;  // overflow
+    value = value * 10 + digit;
+  }
+  std::size_t scale = 1;
+  if (*p == 'k' || *p == 'K')
+    scale = std::size_t{1} << 10;
+  else if (*p == 'm' || *p == 'M')
+    scale = std::size_t{1} << 20;
+  else if (*p == 'g' || *p == 'G')
+    scale = std::size_t{1} << 30;
+  if (scale > 1) ++p;
+  if (*p != '\0') return fallback;  // trailing junk
+  if (scale > 1 && value > (~std::size_t{0}) / scale) return fallback;
+  return value * scale;
+}
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  struct Limits {
+    std::size_t max_entries = 0;  // 0 = unbounded count
+    std::size_t max_bytes = 0;    // 0 = cache disabled
+  };
+
+  explicit LruCache(Limits limits) : limits_(limits) {}
+
+  bool enabled() const noexcept { return limits_.max_bytes > 0; }
+
+  /// Returns a copy of the cached value and refreshes its recency, or
+  /// nullopt on a miss. Every call counts as a hit or a miss.
+  std::optional<Value> get(const Key& key) PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) {
+      ++stats_.misses;
+      return std::nullopt;
+    }
+    ++stats_.hits;
+    order_.splice(order_.begin(), order_, it->second);  // move to front
+    return it->second->value;
+  }
+
+  /// Inserts or replaces `key`, charging `bytes` against the budget, then
+  /// evicts least-recently-used unpinned entries until the cache fits its
+  /// limits again (pinned entries can keep it temporarily over budget). A
+  /// disabled cache (max_bytes == 0) ignores the put.
+  EvictionReport put(const Key& key, Value value, std::size_t bytes)
+      PMTBR_EXCLUDES(mutex_) {
+    EvictionReport report;
+    if (!enabled()) return report;
+    MutexLock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+      bytes_ -= it->second->bytes;
+      report.replaced_bytes = static_cast<std::int64_t>(it->second->bytes);
+      it->second->value = std::move(value);
+      it->second->bytes = bytes;
+      bytes_ += bytes;
+      order_.splice(order_.begin(), order_, it->second);
+    } else {
+      order_.push_front(Entry{key, std::move(value), bytes, 0});
+      map_.emplace(key, order_.begin());
+      bytes_ += bytes;
+    }
+    report.inserted = true;
+    evict_locked(report);
+    stats_.entries = static_cast<std::int64_t>(map_.size());
+    stats_.bytes = static_cast<std::int64_t>(bytes_);
+    return report;
+  }
+
+  /// Marks the entry un-evictable until a matching unpin(). Returns false
+  /// for an absent key. Pins nest.
+  bool pin(const Key& key) PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return false;
+    ++it->second->pins;
+    return true;
+  }
+
+  bool unpin(const Key& key) PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end() || it->second->pins == 0) return false;
+    --it->second->pins;
+    return true;
+  }
+
+  void erase(const Key& key) PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const auto it = map_.find(key);
+    if (it == map_.end()) return;
+    bytes_ -= it->second->bytes;
+    order_.erase(it->second);
+    map_.erase(it);
+    stats_.entries = static_cast<std::int64_t>(map_.size());
+    stats_.bytes = static_cast<std::int64_t>(bytes_);
+  }
+
+  /// Drops every entry (pinned included) and the resident gauges; the
+  /// monotonic totals survive so long-running stats stay meaningful.
+  void clear() PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    order_.clear();
+    map_.clear();
+    bytes_ = 0;
+    stats_.entries = 0;
+    stats_.bytes = 0;
+  }
+
+  /// Single-flight owners report followers served from a flight here, so
+  /// one stats() call covers both serving paths.
+  void add_coalesced(std::int64_t n = 1) PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    stats_.coalesced += n;
+  }
+
+  CacheStats stats() const PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return stats_;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::size_t bytes = 0;
+    int pins = 0;
+  };
+  using Order = std::list<Entry>;
+
+  bool over_budget_locked() const PMTBR_REQUIRES(mutex_) {
+    return (limits_.max_entries > 0 && map_.size() > limits_.max_entries) ||
+           bytes_ > limits_.max_bytes;
+  }
+
+  void evict_locked(EvictionReport& report) PMTBR_REQUIRES(mutex_) {
+    auto it = order_.end();
+    while (over_budget_locked() && it != order_.begin()) {
+      --it;
+      if (it->pins > 0) continue;  // pinned: skip, keep scanning toward MRU
+      ++report.count;
+      report.bytes += static_cast<std::int64_t>(it->bytes);
+      ++stats_.evictions;
+      bytes_ -= it->bytes;
+      map_.erase(it->key);
+      it = order_.erase(it);
+    }
+  }
+
+  const Limits limits_;
+  mutable Mutex mutex_;
+  Order order_ PMTBR_GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<Key, typename Order::iterator, Hash> map_ PMTBR_GUARDED_BY(mutex_);
+  std::size_t bytes_ PMTBR_GUARDED_BY(mutex_) = 0;
+  CacheStats stats_ PMTBR_GUARDED_BY(mutex_);
+};
+
+/// Collapses concurrent computations of one key into a single execution.
+/// Protocol (see serve/service.cpp for the full loop):
+///
+///   bool leader = false;
+///   auto flight = gate.begin(key, leader);
+///   if (leader) { value = compute(); gate.publish(key, flight, value); }
+///   else if (auto v = SingleFlight::wait(*flight, poll, abort)) use(*v);
+///
+/// publish() with an empty Value marks the flight abandoned; waiters get
+/// the empty value back and are expected to retry begin() (one of them is
+/// promoted to leader).
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class SingleFlight {
+ public:
+  struct Flight {
+    Mutex mutex;
+    ConditionVariable cv;
+    bool done PMTBR_GUARDED_BY(mutex) = false;
+    Value value PMTBR_GUARDED_BY(mutex){};
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  /// Joins the in-progress flight for `key`, or starts one (leader=true;
+  /// the leader MUST eventually publish(), or joiners spin on retries).
+  FlightPtr begin(const Key& key, bool& leader) PMTBR_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      leader = false;
+      return it->second;
+    }
+    leader = true;
+    auto flight = std::make_shared<Flight>();
+    inflight_.emplace(key, flight);
+    return flight;
+  }
+
+  /// Publishes the flight's value (empty = abandoned), wakes every waiter,
+  /// and retires the key so the next begin() starts a fresh flight.
+  void publish(const Key& key, const FlightPtr& flight, Value value)
+      PMTBR_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(flight->mutex);
+      flight->value = std::move(value);
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+    MutexLock lock(mutex_);
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end() && it->second == flight) inflight_.erase(it);
+  }
+
+  /// Blocks until the flight publishes or `abort()` returns true, polling
+  /// the predicate every `poll`. Returns the published value (possibly
+  /// empty for an abandoned flight) or nullopt when aborted.
+  template <typename Duration, typename AbortFn>
+  static std::optional<Value> wait(Flight& flight, const Duration& poll, AbortFn abort) {
+    UniqueLock lock(flight.mutex);
+    while (!flight.done) {
+      if (abort()) return std::nullopt;
+      flight.cv.wait_for(lock, poll);
+    }
+    return flight.value;
+  }
+
+ private:
+  Mutex mutex_;
+  std::unordered_map<Key, FlightPtr, Hash> inflight_ PMTBR_GUARDED_BY(mutex_);
+};
+
+}  // namespace pmtbr::util

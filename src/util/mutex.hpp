@@ -101,6 +101,16 @@ class ConditionVariable {
   /// the semantics callers rely on).
   void wait(UniqueLock& lock) { cv_.wait(lock); }
 
+  /// Timed wait for polling loops (e.g. the single-flight gate in
+  /// util/lru.hpp, whose followers re-check an abort predicate between
+  /// waits). Templated on the duration type so callers supply the units
+  /// (and so this header stays clock-free); same capability-neutral
+  /// contract as wait().
+  template <typename Duration>
+  std::cv_status wait_for(UniqueLock& lock, const Duration& d) {
+    return cv_.wait_for(lock, d);
+  }
+
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }
 

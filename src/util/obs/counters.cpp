@@ -52,6 +52,15 @@ const char* counter_name(Counter c) noexcept {
     case Counter::kServeJobsExpired: return "serve_jobs_expired";
     case Counter::kServeQueueNanos: return "serve_queue_nanos";
     case Counter::kServeRunNanos: return "serve_run_nanos";
+    case Counter::kModelCacheHit: return "model_cache_hit";
+    case Counter::kModelCacheMiss: return "model_cache_miss";
+    case Counter::kModelCacheEvict: return "model_cache_evict";
+    case Counter::kModelCacheCoalesced: return "model_cache_coalesced";
+    case Counter::kModelCacheBytes: return "model_cache_bytes";
+    case Counter::kFactorCacheHit: return "factor_cache_hit";
+    case Counter::kFactorCacheMiss: return "factor_cache_miss";
+    case Counter::kFactorCacheEvict: return "factor_cache_evict";
+    case Counter::kFactorCacheBytes: return "factor_cache_bytes";
     case Counter::kCount: break;
   }
   return "unknown";

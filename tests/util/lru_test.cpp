@@ -1,0 +1,282 @@
+// Unit tests for the caching substrate (docs/SERVING.md): content
+// fingerprints, the PMTBR_CACHE_BYTES budget parser, the byte-bounded LRU
+// with pinning, and the single-flight gate's leader/follower protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/fingerprint.hpp"
+#include "util/lru.hpp"
+
+namespace pmtbr::util {
+namespace {
+
+TEST(Fingerprint, OrderAndSpanBoundarySensitivity) {
+  FingerprintHasher ab, ba;
+  ab.mix(1);
+  ab.mix(2);
+  ba.mix(2);
+  ba.mix(1);
+  EXPECT_NE(ab.digest(), ba.digest());  // position counter: order matters
+
+  // Moving a boundary between two mixed spans changes the digest even
+  // though the flattened element sequence is identical.
+  FingerprintHasher split_21, split_12;
+  split_21.mix_ints(std::vector<int>{1, 2});
+  split_21.mix_ints(std::vector<int>{3});
+  split_12.mix_ints(std::vector<int>{1});
+  split_12.mix_ints(std::vector<int>{2, 3});
+  EXPECT_NE(split_21.digest(), split_12.digest());
+
+  FingerprintHasher empty, one_zero;
+  one_zero.mix(0);
+  EXPECT_NE(empty.digest(), one_zero.digest());
+}
+
+TEST(Fingerprint, DeterministicAndBitPatternExact) {
+  FingerprintHasher a, b;
+  for (FingerprintHasher* h : {&a, &b}) {
+    h->mix_double(1.0 / 3.0);
+    h->mix_i64(-7);
+    h->mix_bool(true);
+  }
+  EXPECT_EQ(a.digest(), b.digest());
+
+  // Doubles hash by bit pattern, so even +0.0 / -0.0 are distinct — a
+  // fingerprint match implies bit-identical inputs.
+  FingerprintHasher pos, neg;
+  pos.mix_double(0.0);
+  neg.mix_double(-0.0);
+  EXPECT_NE(pos.digest(), neg.digest());
+}
+
+TEST(Fingerprint, HexIs32LowercaseDigits) {
+  const Fingerprint f{0x0123456789abcdefULL, 0xfedcba9876543210ULL};
+  EXPECT_EQ(f.hex(), "0123456789abcdeffedcba9876543210");
+  EXPECT_EQ(Fingerprint{}.hex(), std::string(32, '0'));
+}
+
+TEST(Fingerprint, CombineIsOrderSensitive) {
+  const Fingerprint a{1, 2};
+  const Fingerprint b{3, 4};
+  EXPECT_NE(fingerprint_combine(a, b), fingerprint_combine(b, a));
+  EXPECT_EQ(fingerprint_combine(a, b), fingerprint_combine(a, b));
+}
+
+// Saves/restores PMTBR_CACHE_BYTES so the budget tests cannot leak into
+// other tests (or inherit CI's ambient value).
+class CacheByteBudget : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* prev = std::getenv("PMTBR_CACHE_BYTES");
+    had_ = prev != nullptr;
+    if (had_) saved_ = prev;
+  }
+  void TearDown() override {
+    if (had_)
+      setenv("PMTBR_CACHE_BYTES", saved_.c_str(), 1);
+    else
+      unsetenv("PMTBR_CACHE_BYTES");
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+TEST_F(CacheByteBudget, ParsesPlainAndSuffixedValues) {
+  unsetenv("PMTBR_CACHE_BYTES");
+  EXPECT_EQ(cache_byte_budget(7), 7u);
+  setenv("PMTBR_CACHE_BYTES", "4096", 1);
+  EXPECT_EQ(cache_byte_budget(7), 4096u);
+  setenv("PMTBR_CACHE_BYTES", "64k", 1);
+  EXPECT_EQ(cache_byte_budget(7), std::size_t{64} << 10);
+  setenv("PMTBR_CACHE_BYTES", "3M", 1);
+  EXPECT_EQ(cache_byte_budget(7), std::size_t{3} << 20);
+  setenv("PMTBR_CACHE_BYTES", "2g", 1);
+  EXPECT_EQ(cache_byte_budget(7), std::size_t{2} << 30);
+  setenv("PMTBR_CACHE_BYTES", "0", 1);
+  EXPECT_EQ(cache_byte_budget(7), 0u);  // explicit disable
+}
+
+TEST_F(CacheByteBudget, MalformedValuesFallBack) {
+  setenv("PMTBR_CACHE_BYTES", "12kb", 1);  // trailing junk
+  EXPECT_EQ(cache_byte_budget(7), 7u);
+  setenv("PMTBR_CACHE_BYTES", "-1", 1);
+  EXPECT_EQ(cache_byte_budget(7), 7u);
+  setenv("PMTBR_CACHE_BYTES", "", 1);
+  EXPECT_EQ(cache_byte_budget(7), 7u);
+  setenv("PMTBR_CACHE_BYTES", "99999999999999999999999", 1);  // overflow
+  EXPECT_EQ(cache_byte_budget(7), 7u);
+}
+
+using IntCache = LruCache<int, int>;
+
+TEST(LruCacheTest, DisabledCacheIgnoresPuts) {
+  IntCache cache({0, 0});
+  EXPECT_FALSE(cache.enabled());
+  EXPECT_FALSE(cache.put(1, 10, 8).inserted);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedPastByteBudget) {
+  IntCache cache({0, 100});
+  cache.put(1, 10, 40);
+  cache.put(2, 20, 40);
+  EXPECT_EQ(*cache.get(1), 10);  // 1 is now most recently used
+  const EvictionReport ev = cache.put(3, 30, 40);
+  EXPECT_TRUE(ev.inserted);
+  EXPECT_EQ(ev.count, 1);
+  EXPECT_EQ(ev.bytes, 40);
+  EXPECT_FALSE(cache.get(2).has_value());  // 2 was LRU
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.entries, 2);
+  EXPECT_EQ(st.bytes, 80);
+  EXPECT_EQ(st.evictions, 1);
+}
+
+TEST(LruCacheTest, EntryCapEvictsIndependentlyOfBytes) {
+  IntCache cache({2, 1 << 20});
+  cache.put(1, 10, 1);
+  cache.put(2, 20, 1);
+  cache.put(3, 30, 1);
+  EXPECT_FALSE(cache.get(1).has_value());
+  EXPECT_EQ(cache.stats().entries, 2);
+}
+
+TEST(LruCacheTest, ReplacingAKeyReportsReleasedBytes) {
+  IntCache cache({0, 100});
+  cache.put(1, 10, 60);
+  const EvictionReport ev = cache.put(1, 11, 50);
+  EXPECT_TRUE(ev.inserted);
+  EXPECT_EQ(ev.count, 0);
+  EXPECT_EQ(ev.replaced_bytes, 60);
+  EXPECT_EQ(*cache.get(1), 11);
+  EXPECT_EQ(cache.stats().bytes, 50);
+  EXPECT_EQ(cache.stats().entries, 1);
+}
+
+TEST(LruCacheTest, PinnedEntriesSurviveEviction) {
+  IntCache cache({0, 80});
+  cache.put(1, 10, 40);
+  ASSERT_TRUE(cache.pin(1));
+  cache.put(2, 20, 40);
+  cache.put(3, 30, 40);  // over budget: 2 (unpinned LRU) goes, 1 stays
+  EXPECT_TRUE(cache.get(1).has_value());
+  EXPECT_FALSE(cache.get(2).has_value());
+  EXPECT_TRUE(cache.get(3).has_value());
+
+  EXPECT_TRUE(cache.unpin(1));
+  EXPECT_FALSE(cache.unpin(1));  // pins don't go negative
+  EXPECT_FALSE(cache.pin(99));   // absent key
+}
+
+TEST(LruCacheTest, ClearKeepsMonotonicTotals) {
+  IntCache cache({0, 100});
+  cache.put(1, 10, 10);
+  (void)cache.get(1);
+  (void)cache.get(2);
+  cache.add_coalesced(3);
+  cache.clear();
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.entries, 0);
+  EXPECT_EQ(st.bytes, 0);
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.coalesced, 3);
+  EXPECT_FALSE(cache.get(1).has_value());
+}
+
+using IntFlight = SingleFlight<int, std::shared_ptr<const int>>;
+
+TEST(SingleFlightGate, LeaderPublishesFollowersJoin) {
+  IntFlight gate;
+  bool leader = false;
+  auto flight = gate.begin(7, leader);
+  ASSERT_TRUE(leader);
+
+  bool second = true;
+  auto joined = gate.begin(7, second);
+  EXPECT_FALSE(second);
+  EXPECT_EQ(joined.get(), flight.get());
+
+  gate.publish(7, flight, std::make_shared<const int>(42));
+  const auto value =
+      IntFlight::wait(*joined, std::chrono::milliseconds(1), [] { return false; });
+  ASSERT_TRUE(value.has_value());
+  ASSERT_NE(*value, nullptr);
+  EXPECT_EQ(**value, 42);
+
+  // The flight retired with publish: the next begin starts fresh.
+  bool again = false;
+  (void)gate.begin(7, again);
+  EXPECT_TRUE(again);
+}
+
+TEST(SingleFlightGate, AbandonedFlightReturnsEmptyValue) {
+  IntFlight gate;
+  bool leader = false;
+  auto flight = gate.begin(1, leader);
+  ASSERT_TRUE(leader);
+  gate.publish(1, flight, nullptr);  // leader failed/cancelled
+  const auto value =
+      IntFlight::wait(*flight, std::chrono::milliseconds(1), [] { return false; });
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(*value, nullptr);
+}
+
+TEST(SingleFlightGate, WaitAbortsOnPredicate) {
+  IntFlight gate;
+  bool leader = false;
+  auto flight = gate.begin(1, leader);
+  ASSERT_TRUE(leader);
+  const auto value =
+      IntFlight::wait(*flight, std::chrono::milliseconds(1), [] { return true; });
+  EXPECT_FALSE(value.has_value());
+  gate.publish(1, flight, std::make_shared<const int>(0));  // leave no dangling flight
+}
+
+TEST(SingleFlightGate, ConcurrentBeginElectsExactlyOneLeader) {
+  IntFlight gate;
+  constexpr int kThreads = 8;
+  std::atomic<int> begun{0};
+  std::atomic<int> leaders{0};
+  std::atomic<int> served{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      bool leader = false;
+      auto flight = gate.begin(5, leader);
+      begun.fetch_add(1, std::memory_order_relaxed);
+      if (leader) {
+        leaders.fetch_add(1, std::memory_order_relaxed);
+        // Publish only after every thread has joined the flight, so a late
+        // begin() can never start a second flight and elect a second leader.
+        while (begun.load(std::memory_order_relaxed) < kThreads) std::this_thread::yield();
+        gate.publish(5, flight, std::make_shared<const int>(99));
+        served.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      const auto value =
+          IntFlight::wait(*flight, std::chrono::milliseconds(1), [] { return false; });
+      if (value.has_value() && *value != nullptr && **value == 99)
+        served.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(served.load(), kThreads);
+}
+
+}  // namespace
+}  // namespace pmtbr::util

@@ -90,10 +90,39 @@ def validate_serve_extra(serve) -> list[str]:
         v = serve.get(key)
         if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
             errors.append(f"serve.{key} must be a nonnegative number")
+    # cache_hits is optional (older artifacts predate the model cache) but
+    # when present it must be a subset of completed — hits are completions
+    # served from the cache, never a new outcome class.
+    hits = serve.get("cache_hits")
+    if hits is not None and (not isinstance(hits, int) or hits < 0):
+        errors.append("serve.cache_hits must be a nonnegative integer")
     if not errors:
         terminal = sum(serve[k] for k in SERVE_COUNTS[1:])
         if serve["submitted"] != terminal:
             errors.append("serve outcome fields do not partition 'submitted'")
+        if isinstance(hits, int) and hits > serve["completed"]:
+            errors.append("serve.cache_hits exceeds 'completed'")
+    return errors
+
+
+# "cache" manifest extra (serve::cache_extra, docs/SERVING.md): one stats
+# object per cache layer (model-result LRU, shared numeric-factor LRU).
+CACHE_LAYERS = ("model", "factor")
+CACHE_COUNTS = ("hits", "misses", "evictions", "coalesced", "entries", "bytes")
+
+
+def validate_cache_extra(cache) -> list[str]:
+    if not isinstance(cache, dict):
+        return ["extra 'cache' must be an object"]
+    errors = []
+    for layer in CACHE_LAYERS:
+        obj = cache.get(layer)
+        if not isinstance(obj, dict):
+            errors.append(f"cache.{layer} must be an object")
+            continue
+        for key in CACHE_COUNTS:
+            if not isinstance(obj.get(key), int) or obj.get(key) < 0:
+                errors.append(f"cache.{layer}.{key} must be a nonnegative integer")
     return errors
 
 
@@ -133,6 +162,28 @@ def validate_serve_sweep(sweep) -> list[str]:
                 for k in SERVE_COUNTS[1:]):
             errors.append(f"serve[{i}].outcomes lacks nonnegative "
                           f"{'/'.join(SERVE_COUNTS[1:])}")
+    return errors
+
+
+# "repeated_workload" object in a timing artifact (bench_serve_throughput):
+# warm-vs-cold throughput of one repeated job set through the model cache.
+def validate_repeated_workload(rep) -> list[str]:
+    if not isinstance(rep, dict):
+        return ["'repeated_workload' must be an object"]
+    errors = []
+    for key in ("jobs_per_wave", "warm_waves", "cache_hits"):
+        if not isinstance(rep.get(key), int) or rep.get(key) < 0:
+            errors.append(f"repeated_workload.{key} must be a nonnegative integer")
+    for phase in ("cold", "warm"):
+        obj = rep.get(phase)
+        if not isinstance(obj, dict):
+            errors.append(f"repeated_workload.{phase} must be an object")
+            continue
+        for key in ("wall_seconds", "jobs_per_second"):
+            v = obj.get(key)
+            if not isinstance(v, (int, float)) or isinstance(v, bool) or v < 0:
+                errors.append(f"repeated_workload.{phase}.{key} must be a "
+                              "nonnegative number")
     return errors
 
 
@@ -176,6 +227,8 @@ def validate_manifest(path: Path, data: dict) -> list[str]:
         errors.extend(validate_degradation(extra["degradation"]))
     if isinstance(extra, dict) and "serve" in extra:
         errors.extend(validate_serve_extra(extra["serve"]))
+    if isinstance(extra, dict) and "cache" in extra:
+        errors.extend(validate_cache_extra(extra["cache"]))
     return [f"{path}: {e}" for e in errors]
 
 
@@ -195,6 +248,8 @@ def validate_timing(path: Path, data: dict) -> list[str]:
                 errors.append(f"records[{i}].gflops must be a nonnegative number")
     if "serve" in data:
         errors.extend(validate_serve_sweep(data["serve"]))
+    if "repeated_workload" in data:
+        errors.extend(validate_repeated_workload(data["repeated_workload"]))
     return [f"{path}: {e}" for e in errors]
 
 
@@ -211,7 +266,14 @@ def show_manifest(data: dict) -> None:
     env = ", ".join(f"{k}={v}" for k, v in data["env"].items() if v is not None) or "(default)"
     print(f"env: {env}   trace_enabled: {data['trace_enabled']}")
     if data["extra"]:
-        print("extra: " + ", ".join(f"{k}={v}" for k, v in data["extra"].items()))
+        print("extra: " + ", ".join(f"{k}={v}" for k, v in data["extra"].items()
+                                    if k != "cache"))
+    cache = data["extra"].get("cache") if isinstance(data.get("extra"), dict) else None
+    if isinstance(cache, dict):
+        for layer in CACHE_LAYERS:
+            st = cache.get(layer, {})
+            print(f"cache {layer}: " + "  ".join(
+                f"{k}={st.get(k, 0):,}" for k in CACHE_COUNTS))
     nonzero = {k: v for k, v in data["counters"].items() if v != 0}
     if nonzero:
         width = max(len(k) for k in nonzero)
@@ -244,6 +306,16 @@ def show_timing(data: dict) -> None:
         print(f"  serve runners={pt['runners']}: {pt['jobs_per_second']:.2f} jobs/s  "
               f"queue p50/p99 {q['p50'] * 1e3:.2f}/{q['p99'] * 1e3:.2f} ms  "
               f"run p50/p99 {rn['p50'] * 1e3:.2f}/{rn['p99'] * 1e3:.2f} ms")
+    rep = data.get("repeated_workload")
+    if rep:
+        cold, warm = rep["cold"], rep["warm"]
+        speedup = (warm["jobs_per_second"] / cold["jobs_per_second"]
+                   if cold["jobs_per_second"] else 0.0)
+        print(f"  repeated workload ({rep['jobs_per_wave']} jobs x "
+              f"{rep['warm_waves']} warm waves): "
+              f"cold {cold['jobs_per_second']:.2f} jobs/s  "
+              f"warm {warm['jobs_per_second']:.2f} jobs/s  "
+              f"({speedup:.1f}x, {rep['cache_hits']} cache hits)")
 
 
 def cmd_show(paths: list[Path]) -> int:
@@ -307,6 +379,12 @@ def diff_timings(old: dict, new: dict) -> None:
         a = old_rec.get(label, {}).get("wall_seconds", 0.0)
         b = new_rec.get(label, {}).get("wall_seconds", 0.0)
         print(f"  {label:<{width}}  {a:>10.4f}s  {b:>10.4f}s  {fmt_delta(a, b):>8}")
+    if "repeated_workload" in old or "repeated_workload" in new:
+        for phase in ("cold", "warm"):
+            a = old.get("repeated_workload", {}).get(phase, {}).get("jobs_per_second", 0.0)
+            b = new.get("repeated_workload", {}).get(phase, {}).get("jobs_per_second", 0.0)
+            label = f"repeated_workload.{phase} jobs/s"
+            print(f"  {label:<{width}}  {a:>10.2f}   {b:>10.2f}   {fmt_delta(a, b):>8}")
 
 
 def cmd_diff(old_path: Path, new_path: Path) -> int:
